@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section (see EXPERIMENTS.md for the index).  Dataset scale is
+kept laptop-friendly; the goal is to reproduce the *shape* of the paper's
+results (who wins, by roughly what factor), not absolute numbers measured on
+the authors' server.  Scale can be raised through the environment variables
+``REPRO_EMPLOYEE_SCALE`` and ``REPRO_TPCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import (
+    EmployeesConfig,
+    TPCBiHConfig,
+    generate_employees,
+    generate_tpcbih,
+)
+from repro.rewriter import SnapshotMiddleware
+from repro.baselines import TemporalAlignmentEvaluator
+
+EMPLOYEE_SCALE = float(os.environ.get("REPRO_EMPLOYEE_SCALE", "0.1"))
+TPCH_SCALE = float(os.environ.get("REPRO_TPCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def employee_config() -> EmployeesConfig:
+    return EmployeesConfig(scale=EMPLOYEE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def employee_database(employee_config):
+    return generate_employees(employee_config)
+
+
+@pytest.fixture(scope="session")
+def employee_middleware(employee_config, employee_database):
+    return SnapshotMiddleware(employee_config.domain, database=employee_database)
+
+
+@pytest.fixture(scope="session")
+def employee_native(employee_config, employee_database):
+    return TemporalAlignmentEvaluator(employee_database, employee_config.domain)
+
+
+@pytest.fixture(scope="session")
+def tpch_config() -> TPCBiHConfig:
+    return TPCBiHConfig(scale_factor=TPCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tpch_database(tpch_config):
+    return generate_tpcbih(tpch_config)
+
+
+@pytest.fixture(scope="session")
+def tpch_middleware(tpch_config, tpch_database):
+    return SnapshotMiddleware(tpch_config.domain, database=tpch_database)
+
+
+@pytest.fixture(scope="session")
+def tpch_native(tpch_config, tpch_database):
+    return TemporalAlignmentEvaluator(tpch_database, tpch_config.domain)

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+The project metadata lives in pyproject.toml; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` code path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro: snapshot semantics for temporal multiset relations.
+
+A from-scratch Python implementation of the framework of Dignös, Glavic,
+Niu, Böhlen and Gamper, *Snapshot Semantics for Temporal Multiset
+Relations*, PVLDB 12(6), 2019:
+
+* **abstract model** -- snapshot K-relations evaluated point-wise
+  (:mod:`repro.abstract_model`), the correctness oracle;
+* **logical model** -- period K-relations annotated with coalesced temporal
+  K-elements, i.e. elements of the period semiring ``K^T``
+  (:mod:`repro.temporal`, :mod:`repro.logical_model`);
+* **implementation** -- SQL period relations on a multiset engine
+  (:mod:`repro.engine`) with the REWR query rewriting and the snapshot
+  middleware (:mod:`repro.rewriter`);
+* **baselines, datasets, experiments** -- everything needed to re-run the
+  paper's evaluation (:mod:`repro.baselines`, :mod:`repro.datasets`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SnapshotMiddleware, TimeDomain
+    from repro.algebra import (
+        AggregateSpec, Aggregation, Comparison, RelationAccess, Selection, attr, lit,
+    )
+
+    middleware = SnapshotMiddleware(TimeDomain(0, 24))
+    middleware.load_table("works", ["name", "skill"], [
+        ("Ann", "SP", 3, 10), ("Joe", "NS", 8, 16),
+        ("Sam", "SP", 8, 16), ("Ann", "SP", 18, 20),
+    ])
+    onduty = Aggregation(
+        Selection(RelationAccess("works"), Comparison("=", attr("skill"), lit("SP"))),
+        (), (AggregateSpec("count", None, "cnt"),),
+    )
+    print(middleware.execute(onduty).pretty())
+"""
+
+from .abstract_model import (
+    KRelation,
+    SnapshotDatabase,
+    SnapshotKRelation,
+    evaluate_snapshot_query,
+)
+from .engine import Database, Table
+from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
+from .rewriter import SnapshotMiddleware
+from .semirings import BOOLEAN, NATURAL, Semiring
+from .temporal import Interval, PeriodSemiring, TemporalElement, TimeDomain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TimeDomain",
+    "Interval",
+    "TemporalElement",
+    "PeriodSemiring",
+    "Semiring",
+    "BOOLEAN",
+    "NATURAL",
+    "KRelation",
+    "SnapshotKRelation",
+    "SnapshotDatabase",
+    "evaluate_snapshot_query",
+    "PeriodKRelation",
+    "PeriodDatabase",
+    "evaluate_period_query",
+    "SnapshotMiddleware",
+    "Database",
+    "Table",
+]

@@ -1,0 +1,14 @@
+"""Abstract model: snapshot K-relations and point-wise snapshot semantics."""
+
+from .evaluator import evaluate
+from .krelation import KRelation, aggregate_rows
+from .snapshot import SnapshotDatabase, SnapshotKRelation, evaluate_snapshot_query
+
+__all__ = [
+    "KRelation",
+    "aggregate_rows",
+    "evaluate",
+    "SnapshotKRelation",
+    "SnapshotDatabase",
+    "evaluate_snapshot_query",
+]

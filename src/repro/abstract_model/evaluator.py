@@ -1,0 +1,98 @@
+"""Evaluation of logical algebra plans over (non-temporal) K-relations.
+
+This is the recursive interpreter mapping the operator AST of
+:mod:`repro.algebra.operators` to the K-relation operations of
+:mod:`repro.abstract_model.krelation`.  It is used in two roles:
+
+* directly, to evaluate a query over a single snapshot, and
+* inside :func:`repro.abstract_model.snapshot.evaluate_snapshot_query`,
+  which applies it to every snapshot of a snapshot K-database -- the paper's
+  *abstract model* and the ground truth against which the logical model and
+  the SQL-period-relation implementation are verified.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..algebra.operators import (
+    Aggregation,
+    AlgebraError,
+    ConstantRelation,
+    Difference,
+    Distinct,
+    Join,
+    Operator,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+)
+from ..semirings.base import Semiring
+from .krelation import KRelation
+
+__all__ = ["evaluate"]
+
+
+def evaluate(
+    plan: Operator,
+    database: Mapping[str, KRelation],
+    semiring: Semiring | None = None,
+) -> KRelation:
+    """Evaluate ``plan`` against a database of K-relations.
+
+    ``semiring`` is only needed when the plan can be a pure
+    :class:`ConstantRelation` tree (otherwise it is taken from the first
+    base relation encountered).
+    """
+    if isinstance(plan, RelationAccess):
+        try:
+            relation = database[plan.name]
+        except KeyError as exc:
+            raise AlgebraError(f"unknown relation {plan.name!r}") from exc
+        return relation
+
+    if isinstance(plan, ConstantRelation):
+        if semiring is None:
+            semiring = _infer_semiring(database)
+        return KRelation.from_rows(semiring, plan.schema, plan.rows)
+
+    if isinstance(plan, Selection):
+        return evaluate(plan.child, database, semiring).select(plan.predicate)
+
+    if isinstance(plan, Projection):
+        return evaluate(plan.child, database, semiring).project(plan.columns)
+
+    if isinstance(plan, Rename):
+        return evaluate(plan.child, database, semiring).rename(dict(plan.renames))
+
+    if isinstance(plan, Join):
+        left = evaluate(plan.left, database, semiring)
+        right = evaluate(plan.right, database, semiring)
+        return left.join(right, plan.predicate)
+
+    if isinstance(plan, Union):
+        left = evaluate(plan.left, database, semiring)
+        right = evaluate(plan.right, database, semiring)
+        return left.union(right)
+
+    if isinstance(plan, Difference):
+        left = evaluate(plan.left, database, semiring)
+        right = evaluate(plan.right, database, semiring)
+        return left.difference(right)
+
+    if isinstance(plan, Aggregation):
+        child = evaluate(plan.child, database, semiring)
+        return child.aggregate(plan.group_by, plan.aggregates)
+
+    if isinstance(plan, Distinct):
+        return evaluate(plan.child, database, semiring).distinct()
+
+    raise AlgebraError(f"unsupported operator {type(plan).__name__}")
+
+
+def _infer_semiring(database: Mapping[str, KRelation]) -> Semiring:
+    for relation in database.values():
+        return relation.semiring
+    raise AlgebraError("cannot infer semiring from an empty database")

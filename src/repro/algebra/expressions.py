@@ -1,0 +1,278 @@
+"""Scalar expression language used in selections, projections and joins.
+
+Expressions are evaluated against a *row*: a mapping from attribute name to
+value.  The language is deliberately small -- attribute references, literals,
+comparisons, boolean connectives, arithmetic and a couple of SQL-ish helpers
+(``least``/``greatest``, ``IS NULL``) -- but it is everything the paper's
+rewriting rules (Fig. 4) and the evaluation workloads need.
+
+Every expression node is immutable and hashable so plans can be compared and
+cached.  ``None`` models SQL ``NULL`` with the usual three-valued flavour
+simplified to Python semantics: comparisons involving ``None`` evaluate to
+``False`` rather than ``UNKNOWN``, which is indistinguishable for the
+workloads used here (no ``NOT`` over null comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Tuple
+
+__all__ = [
+    "Expression",
+    "Attribute",
+    "Literal",
+    "Comparison",
+    "BooleanOp",
+    "Not",
+    "Arithmetic",
+    "FunctionCall",
+    "IsNull",
+    "attr",
+    "lit",
+    "and_",
+    "or_",
+    "col_eq",
+]
+
+
+class ExpressionError(Exception):
+    """Raised when an expression cannot be evaluated against a row."""
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names referenced by the expression (for schema checks)."""
+        return ()
+
+    # Small fluent helpers so tests and workloads read naturally.
+    def __eq__(self, other: object) -> bool:  # structural equality
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self.__dict__.items(), key=str))))
+
+
+@dataclass(frozen=True, eq=True)
+class Attribute(Expression):
+    """A reference to an attribute of the input row."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.name not in row:
+            raise ExpressionError(f"unknown attribute {self.name!r} in row {list(row)}")
+        return row[self.name]
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, eq=True)
+class Comparison(Expression):
+    """A binary comparison between two expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return _COMPARATORS[self.op](left, right)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.left.attributes() + self.right.attributes()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class BooleanOp(Expression):
+    """Conjunction or disjunction of sub-expressions."""
+
+    op: str  # "and" | "or"
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        values = (bool(operand.evaluate(row)) for operand in self.operands)
+        return all(values) if self.op == "and" else any(values)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(a for operand in self.operands for a in operand.attributes())
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(repr(operand) for operand in self.operands) + ")"
+
+
+@dataclass(frozen=True, eq=True)
+class Not(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.operand.attributes()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, eq=True)
+class Arithmetic(Expression):
+    """Binary arithmetic over numeric expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        return _ARITHMETIC[self.op](left, right)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.left.attributes() + self.right.attributes()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "least": lambda *args: min(a for a in args if a is not None),
+    "greatest": lambda *args: max(a for a in args if a is not None),
+    "abs": lambda a: None if a is None else abs(a),
+    "coalesce": lambda *args: next((a for a in args if a is not None), None),
+}
+
+
+@dataclass(frozen=True, eq=True)
+class FunctionCall(Expression):
+    """A call to one of the built-in scalar functions."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in _FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {self.name!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return _FUNCTIONS[self.name](*(arg.evaluate(row) for arg in self.args))
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(a for arg in self.args for a in arg.attributes())
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(repr(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, eq=True)
+class IsNull(Expression):
+    """SQL ``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.operand.attributes()
+
+    def __repr__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand!r} {suffix})"
+
+
+# -- fluent constructors -------------------------------------------------------------
+
+
+def attr(name: str) -> Attribute:
+    """Shorthand constructor for attribute references."""
+    return Attribute(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for literals."""
+    return Literal(value)
+
+
+def and_(*operands: Expression) -> Expression:
+    """Conjunction; collapses a single operand to itself."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("and", tuple(operands))
+
+
+def or_(*operands: Expression) -> Expression:
+    """Disjunction; collapses a single operand to itself."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("or", tuple(operands))
+
+
+def col_eq(left: str, right: str) -> Comparison:
+    """Equality comparison between two attributes (common join predicate)."""
+    return Comparison("=", Attribute(left), Attribute(right))

@@ -1,0 +1,13 @@
+"""Baseline snapshot-query evaluators used for correctness and performance comparison."""
+
+from .base import BaselineError, BaselineEvaluator
+from .naive import NaiveSnapshotEvaluator
+from .native import IntervalPreservationEvaluator, TemporalAlignmentEvaluator
+
+__all__ = [
+    "BaselineEvaluator",
+    "BaselineError",
+    "IntervalPreservationEvaluator",
+    "TemporalAlignmentEvaluator",
+    "NaiveSnapshotEvaluator",
+]

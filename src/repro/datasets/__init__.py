@@ -1,0 +1,43 @@
+"""Datasets and workloads: running example, synthetic Employees, synthetic TPC-BiH."""
+
+from .employees import EMPLOYEE_TABLES, EmployeesConfig, generate_employees
+from .running_example import (
+    ASSIGN_ROWS,
+    EXPECTED_ONDUTY,
+    EXPECTED_SKILLREQ,
+    TIME_DOMAIN,
+    WORKS_ROWS,
+    load_running_example,
+    populate_database,
+    query_onduty,
+    query_skillreq,
+)
+from .tpcbih import TPCH_TABLES, TPCBiHConfig, generate_tpcbih
+from .workloads import (
+    EMPLOYEE_WORKLOAD,
+    TPCH_WORKLOAD,
+    employee_queries,
+    tpch_queries,
+)
+
+__all__ = [
+    "TIME_DOMAIN",
+    "WORKS_ROWS",
+    "ASSIGN_ROWS",
+    "EXPECTED_ONDUTY",
+    "EXPECTED_SKILLREQ",
+    "load_running_example",
+    "populate_database",
+    "query_onduty",
+    "query_skillreq",
+    "EmployeesConfig",
+    "generate_employees",
+    "EMPLOYEE_TABLES",
+    "TPCBiHConfig",
+    "generate_tpcbih",
+    "TPCH_TABLES",
+    "EMPLOYEE_WORKLOAD",
+    "TPCH_WORKLOAD",
+    "employee_queries",
+    "tpch_queries",
+]

@@ -1,0 +1,178 @@
+"""Synthetic Employees dataset (substitute for the MySQL Employees database).
+
+The paper's first workload runs over the MySQL ``Employees`` sample database
+(~4M period rows across six tables).  That dataset cannot be redistributed
+here, so this module generates a *deterministic, synthetic* database with
+the same six period tables, the same schema shape and the same temporal
+characteristics (salary histories changing yearly, employees moving between
+departments, a small set of managers per department), scaled down by a
+``scale`` parameter.  Relative cardinalities mirror the original: salaries
+is the largest table (several periods per employee), followed by titles and
+dept_emp, with departments and dept_manager tiny.
+
+All attribute names carry a table prefix (``e_``, ``s_``, ``ti_``, ``de_``,
+``dm_``, ``d_``) so that multi-table queries need no renaming.
+
+Time is measured in months since the epoch of the simulated company
+history; the default domain spans 120 months (10 years).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..engine.catalog import Database
+from ..temporal.timedomain import TimeDomain
+
+__all__ = ["EmployeesConfig", "generate_employees", "EMPLOYEE_TABLES"]
+
+#: Table name -> (data attributes, period attributes)
+EMPLOYEE_TABLES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, str]]] = {
+    "employees": (("e_emp_no", "e_name", "e_gender"), ("t_begin", "t_end")),
+    "departments": (("d_dept_no", "d_dept_name"), ("t_begin", "t_end")),
+    "salaries": (("s_emp_no", "s_salary"), ("t_begin", "t_end")),
+    "titles": (("ti_emp_no", "ti_title"), ("t_begin", "t_end")),
+    "dept_emp": (("de_emp_no", "de_dept_no"), ("t_begin", "t_end")),
+    "dept_manager": (("dm_emp_no", "dm_dept_no"), ("t_begin", "t_end")),
+}
+
+_TITLES = (
+    "Engineer",
+    "Senior Engineer",
+    "Staff",
+    "Senior Staff",
+    "Technique Leader",
+    "Assistant Engineer",
+    "Manager",
+)
+
+_DEPARTMENT_NAMES = (
+    "Marketing",
+    "Finance",
+    "Human Resources",
+    "Production",
+    "Development",
+    "Quality Management",
+    "Sales",
+    "Research",
+    "Customer Service",
+)
+
+_FIRST_NAMES = (
+    "Georgi", "Bezalel", "Parto", "Chirstian", "Kyoichi", "Anneke", "Tzvetan",
+    "Saniya", "Sumant", "Duangkaew", "Mary", "Patricio", "Eberhardt", "Berni",
+    "Guoxiang", "Kazuhito", "Cristinel", "Kazuhide", "Lillian", "Mayuko",
+)
+
+
+@dataclass(frozen=True)
+class EmployeesConfig:
+    """Generation parameters for the synthetic Employees database.
+
+    ``scale = 1.0`` produces roughly 1 000 employees and ~10 000 period rows
+    in total; increase it for larger benchmark inputs.
+    """
+
+    scale: float = 1.0
+    months: int = 120
+    departments: int = 9
+    seed: int = 20190639  # VLDB 12(6):639 -- deterministic by default
+
+    @property
+    def employee_count(self) -> int:
+        return max(10, int(1000 * self.scale))
+
+    @property
+    def domain(self) -> TimeDomain:
+        return TimeDomain(0, self.months)
+
+
+def generate_employees(
+    config: EmployeesConfig | None = None, database: Database | None = None
+) -> Database:
+    """Generate the six period tables into (a new or given) engine catalog."""
+    config = config or EmployeesConfig()
+    database = database if database is not None else Database()
+    rng = random.Random(config.seed)
+    months = config.months
+
+    departments = [
+        (f"d{d:03d}", _DEPARTMENT_NAMES[d % len(_DEPARTMENT_NAMES)])
+        for d in range(config.departments)
+    ]
+
+    employees_rows: List[Tuple] = []
+    salaries_rows: List[Tuple] = []
+    titles_rows: List[Tuple] = []
+    dept_emp_rows: List[Tuple] = []
+    dept_manager_rows: List[Tuple] = []
+
+    for emp_no in range(1, config.employee_count + 1):
+        name = f"{rng.choice(_FIRST_NAMES)}-{emp_no:05d}"
+        gender = "F" if rng.random() < 0.4 else "M"
+        hire = rng.randrange(0, months - 12)
+        leave = months if rng.random() < 0.7 else rng.randrange(hire + 6, months + 1)
+        employees_rows.append((emp_no, name, gender, hire, leave))
+
+        # Salary history: a new period roughly every 12 months.
+        salary = rng.randrange(38000, 72000, 1000)
+        start = hire
+        while start < leave:
+            end = min(leave, start + rng.randrange(9, 15))
+            salaries_rows.append((emp_no, salary, start, end))
+            salary += rng.randrange(0, 6000, 500)
+            start = end
+
+        # Title history: one to three periods.
+        title_count = rng.choice((1, 1, 2, 2, 3))
+        boundaries = sorted(
+            rng.sample(range(hire + 1, max(hire + 2, leave)), k=min(title_count - 1, max(0, leave - hire - 2)))
+        )
+        title_bounds = [hire, *boundaries, leave]
+        for begin, end in zip(title_bounds, title_bounds[1:]):
+            if begin < end:
+                titles_rows.append((emp_no, rng.choice(_TITLES), begin, end))
+
+        # Department affiliation: one or two periods.
+        if rng.random() < 0.8 or leave - hire < 4:
+            dept_no = departments[rng.randrange(len(departments))][0]
+            dept_emp_rows.append((emp_no, dept_no, hire, leave))
+        else:
+            switch = rng.randrange(hire + 2, leave - 1)
+            first_dept = departments[rng.randrange(len(departments))][0]
+            second_dept = departments[rng.randrange(len(departments))][0]
+            dept_emp_rows.append((emp_no, first_dept, hire, switch))
+            dept_emp_rows.append((emp_no, second_dept, switch, leave))
+
+    # Managers: a handful of employees per department, consecutive terms.
+    manager_pool = rng.sample(
+        range(1, config.employee_count + 1),
+        k=min(config.employee_count, config.departments * 4),
+    )
+    pool_index = 0
+    for dept_no, _name in departments:
+        start = 0
+        while start < months and pool_index < len(manager_pool):
+            end = min(months, start + rng.randrange(18, 48))
+            dept_manager_rows.append((manager_pool[pool_index], dept_no, start, end))
+            pool_index += 1
+            start = end
+
+    departments_rows = [
+        (dept_no, dept_name, 0, months) for dept_no, dept_name in departments
+    ]
+
+    _create(database, "employees", employees_rows)
+    _create(database, "departments", departments_rows)
+    _create(database, "salaries", salaries_rows)
+    _create(database, "titles", titles_rows)
+    _create(database, "dept_emp", dept_emp_rows)
+    _create(database, "dept_manager", dept_manager_rows)
+    return database
+
+
+def _create(database: Database, name: str, rows: List[Tuple]) -> None:
+    data_attributes, period = EMPLOYEE_TABLES[name]
+    database.create_table(name, data_attributes + period, rows, period=period)

@@ -1,0 +1,469 @@
+"""The benchmark query workloads (paper Section 10.1).
+
+Two workloads are defined as logical plans to be interpreted under snapshot
+semantics:
+
+* the ten **Employee** queries (``join-1`` .. ``diff-2``) over the synthetic
+  Employees database of :mod:`repro.datasets.employees`, matching the
+  descriptions in the paper verbatim, and
+* the nine **TPC-BiH** queries (TPC-H Q1, Q5, Q6, Q7, Q8, Q9, Q12, Q14, Q19
+  evaluated under snapshot semantics) over the synthetic valid-time TPC-H
+  database of :mod:`repro.datasets.tpcbih`.  Constructs our algebra does not
+  model (LIKE patterns, CASE expressions, date extraction, ORDER BY) are
+  simplified to equivalent selections/aggregations; the simplifications are
+  documented per query in EXPERIMENTS.md and applied identically to every
+  evaluated system, so comparisons remain apples-to-apples.
+
+Each workload is exposed as an ordered mapping ``query name -> plan factory``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..algebra.expressions import (
+    Arithmetic,
+    Comparison,
+    and_,
+    attr,
+    lit,
+    or_,
+)
+from ..algebra.operators import (
+    AggregateSpec,
+    Aggregation,
+    Difference,
+    Join,
+    Operator,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+)
+
+__all__ = ["EMPLOYEE_WORKLOAD", "TPCH_WORKLOAD", "employee_queries", "tpch_queries"]
+
+
+# ---------------------------------------------------------------------------
+# Employee workload
+# ---------------------------------------------------------------------------
+
+
+def _join(left: Operator, right: Operator, left_attr: str, right_attr: str) -> Join:
+    return Join(left, right, Comparison("=", attr(left_attr), attr(right_attr)))
+
+
+def employee_join_1() -> Operator:
+    """join-1: salary and department for each employee (dept_emp x salaries)."""
+    joined = _join(
+        RelationAccess("dept_emp"), RelationAccess("salaries"), "de_emp_no", "s_emp_no"
+    )
+    return Projection.of_attributes(joined, "de_emp_no", "de_dept_no", "s_salary")
+
+
+def employee_join_2() -> Operator:
+    """join-2: salary and title for each employee (salaries x titles)."""
+    joined = _join(
+        RelationAccess("salaries"), RelationAccess("titles"), "s_emp_no", "ti_emp_no"
+    )
+    return Projection.of_attributes(joined, "s_emp_no", "s_salary", "ti_title")
+
+
+def employee_join_3() -> Operator:
+    """join-3: departments managed by an employee earning more than 70 000."""
+    joined = _join(
+        RelationAccess("dept_manager"),
+        RelationAccess("salaries"),
+        "dm_emp_no",
+        "s_emp_no",
+    )
+    selected = Selection(joined, Comparison(">", attr("s_salary"), lit(70000)))
+    return Projection.of_attributes(selected, "dm_dept_no")
+
+
+def employee_join_4() -> Operator:
+    """join-4: all information for each manager (managers x salaries x employees)."""
+    managers_salaries = _join(
+        RelationAccess("dept_manager"),
+        RelationAccess("salaries"),
+        "dm_emp_no",
+        "s_emp_no",
+    )
+    full = _join(
+        managers_salaries, RelationAccess("employees"), "dm_emp_no", "e_emp_no"
+    )
+    return Projection.of_attributes(
+        full, "dm_emp_no", "dm_dept_no", "s_salary", "e_name", "e_gender"
+    )
+
+
+def employee_agg_1() -> Operator:
+    """agg-1: average salary of employees per department (join-1 + aggregation)."""
+    return Aggregation(
+        employee_join_1(),
+        ("de_dept_no",),
+        (AggregateSpec("avg", attr("s_salary"), "avg_salary"),),
+    )
+
+
+def employee_agg_2() -> Operator:
+    """agg-2: average salary of managers (join + ungrouped aggregation)."""
+    joined = _join(
+        RelationAccess("dept_manager"),
+        RelationAccess("salaries"),
+        "dm_emp_no",
+        "s_emp_no",
+    )
+    return Aggregation(
+        joined, (), (AggregateSpec("avg", attr("s_salary"), "avg_salary"),)
+    )
+
+
+def employee_agg_3() -> Operator:
+    """agg-3: number of departments with more than 21 employees (two aggregations)."""
+    per_department = Aggregation(
+        RelationAccess("dept_emp"),
+        ("de_dept_no",),
+        (AggregateSpec("count", None, "emp_cnt"),),
+    )
+    large = Selection(per_department, Comparison(">", attr("emp_cnt"), lit(21)))
+    return Aggregation(large, (), (AggregateSpec("count", None, "dept_cnt"),))
+
+
+def employee_agg_join() -> Operator:
+    """agg-join: names of employees with the highest salary in their department."""
+    dept_salaries = _join(
+        RelationAccess("dept_emp"), RelationAccess("salaries"), "de_emp_no", "s_emp_no"
+    )
+    max_per_department = Rename(
+        Aggregation(
+            dept_salaries,
+            ("de_dept_no",),
+            (AggregateSpec("max", attr("s_salary"), "max_salary"),),
+        ),
+        (("de_dept_no", "m_dept_no"),),
+    )
+    with_names = _join(
+        _join(
+            RelationAccess("dept_emp"),
+            RelationAccess("salaries"),
+            "de_emp_no",
+            "s_emp_no",
+        ),
+        RelationAccess("employees"),
+        "de_emp_no",
+        "e_emp_no",
+    )
+    top_earners = Join(
+        with_names,
+        max_per_department,
+        and_(
+            Comparison("=", attr("de_dept_no"), attr("m_dept_no")),
+            Comparison("=", attr("s_salary"), attr("max_salary")),
+        ),
+    )
+    return Projection.of_attributes(top_earners, "e_name", "de_dept_no", "s_salary")
+
+
+def employee_diff_1() -> Operator:
+    """diff-1: employees that are not managers (bag difference of two tables)."""
+    employees = Projection.of_attributes(RelationAccess("employees"), "e_emp_no")
+    managers = Rename(
+        Projection.of_attributes(RelationAccess("dept_manager"), "dm_emp_no"),
+        (("dm_emp_no", "e_emp_no"),),
+    )
+    return Difference(employees, managers)
+
+
+def employee_diff_2() -> Operator:
+    """diff-2: salaries of employees that are not managers (table minus join)."""
+    all_salaries = Projection.of_attributes(
+        RelationAccess("salaries"), "s_emp_no", "s_salary"
+    )
+    manager_salaries = Projection.of_attributes(
+        _join(
+            RelationAccess("dept_manager"),
+            RelationAccess("salaries"),
+            "dm_emp_no",
+            "s_emp_no",
+        ),
+        "s_emp_no",
+        "s_salary",
+    )
+    return Difference(all_salaries, manager_salaries)
+
+
+#: Ordered mapping of Employee workload query names to plan factories.
+EMPLOYEE_WORKLOAD: Dict[str, Callable[[], Operator]] = {
+    "join-1": employee_join_1,
+    "join-2": employee_join_2,
+    "join-3": employee_join_3,
+    "join-4": employee_join_4,
+    "agg-1": employee_agg_1,
+    "agg-2": employee_agg_2,
+    "agg-3": employee_agg_3,
+    "agg-join": employee_agg_join,
+    "diff-1": employee_diff_1,
+    "diff-2": employee_diff_2,
+}
+
+
+def employee_queries() -> Dict[str, Operator]:
+    """Instantiate every Employee workload query."""
+    return {name: factory() for name, factory in EMPLOYEE_WORKLOAD.items()}
+
+
+# ---------------------------------------------------------------------------
+# TPC-BiH workload (TPC-H queries under snapshot semantics)
+# ---------------------------------------------------------------------------
+
+
+def _revenue() -> Arithmetic:
+    """``l_extendedprice * (1 - l_discount)`` -- the TPC-H revenue expression."""
+    return Arithmetic(
+        "*",
+        attr("l_extendedprice"),
+        Arithmetic("-", lit(1), attr("l_discount")),
+    )
+
+
+def tpch_q1() -> Operator:
+    """Q1 pricing summary: per return flag / line status aggregates over lineitem."""
+    filtered = Selection(
+        RelationAccess("lineitem"), Comparison("<=", attr("l_tax"), lit(0.08))
+    )
+    return Aggregation(
+        filtered,
+        ("l_returnflag", "l_linestatus"),
+        (
+            AggregateSpec("sum", attr("l_quantity"), "sum_qty"),
+            AggregateSpec("sum", attr("l_extendedprice"), "sum_base_price"),
+            AggregateSpec("sum", _revenue(), "sum_disc_price"),
+            AggregateSpec("avg", attr("l_quantity"), "avg_qty"),
+            AggregateSpec("avg", attr("l_extendedprice"), "avg_price"),
+            AggregateSpec("avg", attr("l_discount"), "avg_disc"),
+            AggregateSpec("count", None, "count_order"),
+        ),
+    )
+
+
+def tpch_q5() -> Operator:
+    """Q5 local supplier volume: revenue per nation within one region."""
+    asia = Selection(
+        RelationAccess("region"), Comparison("=", attr("r_name"), lit("ASIA"))
+    )
+    nations = _join(RelationAccess("nation"), asia, "n_regionkey", "r_regionkey")
+    customers = _join(RelationAccess("customer"), nations, "c_nationkey", "n_nationkey")
+    orders = _join(RelationAccess("orders"), customers, "o_custkey", "c_custkey")
+    lineitems = _join(RelationAccess("lineitem"), orders, "l_orderkey", "o_orderkey")
+    suppliers = Join(
+        lineitems,
+        RelationAccess("supplier"),
+        and_(
+            Comparison("=", attr("l_suppkey"), attr("s_suppkey")),
+            Comparison("=", attr("s_nationkey"), attr("c_nationkey")),
+        ),
+    )
+    return Aggregation(
+        suppliers,
+        ("n_name",),
+        (AggregateSpec("sum", _revenue(), "revenue"),),
+    )
+
+
+def tpch_q6() -> Operator:
+    """Q6 forecasting revenue change: ungrouped sum over filtered lineitems."""
+    filtered = Selection(
+        RelationAccess("lineitem"),
+        and_(
+            Comparison(">=", attr("l_discount"), lit(0.05)),
+            Comparison("<=", attr("l_discount"), lit(0.07)),
+            Comparison("<", attr("l_quantity"), lit(24)),
+        ),
+    )
+    return Aggregation(
+        filtered,
+        (),
+        (
+            AggregateSpec(
+                "sum",
+                Arithmetic("*", attr("l_extendedprice"), attr("l_discount")),
+                "revenue",
+            ),
+        ),
+    )
+
+
+def tpch_q7() -> Operator:
+    """Q7 volume shipping between two nations (nation joined twice, renamed)."""
+    supplier_nation = Rename(
+        RelationAccess("nation"),
+        (("n_nationkey", "n1_nationkey"), ("n_name", "n1_name"), ("n_regionkey", "n1_regionkey")),
+    )
+    customer_nation = Rename(
+        RelationAccess("nation"),
+        (("n_nationkey", "n2_nationkey"), ("n_name", "n2_name"), ("n_regionkey", "n2_regionkey")),
+    )
+    suppliers = _join(RelationAccess("supplier"), supplier_nation, "s_nationkey", "n1_nationkey")
+    lineitems = _join(RelationAccess("lineitem"), suppliers, "l_suppkey", "s_suppkey")
+    orders = _join(lineitems, RelationAccess("orders"), "l_orderkey", "o_orderkey")
+    customers = _join(orders, RelationAccess("customer"), "o_custkey", "c_custkey")
+    full = _join(customers, customer_nation, "c_nationkey", "n2_nationkey")
+    trading_pair = Selection(
+        full,
+        or_(
+            and_(
+                Comparison("=", attr("n1_name"), lit("FRANCE")),
+                Comparison("=", attr("n2_name"), lit("GERMANY")),
+            ),
+            and_(
+                Comparison("=", attr("n1_name"), lit("GERMANY")),
+                Comparison("=", attr("n2_name"), lit("FRANCE")),
+            ),
+        ),
+    )
+    return Aggregation(
+        trading_pair,
+        ("n1_name", "n2_name"),
+        (AggregateSpec("sum", _revenue(), "revenue"),),
+    )
+
+
+def tpch_q8() -> Operator:
+    """Q8 national market share (simplified: revenue per supplier nation in a region/type)."""
+    america = Selection(
+        RelationAccess("region"), Comparison("=", attr("r_name"), lit("AMERICA"))
+    )
+    customer_nation = Rename(
+        RelationAccess("nation"),
+        (("n_nationkey", "n2_nationkey"), ("n_name", "n2_name"), ("n_regionkey", "n2_regionkey")),
+    )
+    customer_nations = _join(customer_nation, america, "n2_regionkey", "r_regionkey")
+    customers = _join(RelationAccess("customer"), customer_nations, "c_nationkey", "n2_nationkey")
+    orders = _join(RelationAccess("orders"), customers, "o_custkey", "c_custkey")
+    lineitems = _join(RelationAccess("lineitem"), orders, "l_orderkey", "o_orderkey")
+    parts = Selection(
+        RelationAccess("part"),
+        Comparison("=", attr("p_type"), lit("ECONOMY ANODIZED")),
+    )
+    with_parts = _join(lineitems, parts, "l_partkey", "p_partkey")
+    suppliers = _join(with_parts, RelationAccess("supplier"), "l_suppkey", "s_suppkey")
+    supplier_nation = Rename(
+        RelationAccess("nation"),
+        (("n_nationkey", "n1_nationkey"), ("n_name", "n1_name"), ("n_regionkey", "n1_regionkey")),
+    )
+    full = _join(suppliers, supplier_nation, "s_nationkey", "n1_nationkey")
+    return Aggregation(
+        full,
+        ("n1_name",),
+        (AggregateSpec("sum", _revenue(), "volume"),),
+    )
+
+
+def tpch_q9() -> Operator:
+    """Q9 product type profit (simplified: profit per supplier nation for one brand)."""
+    parts = Selection(
+        RelationAccess("part"), Comparison("=", attr("p_brand"), lit("Brand#11"))
+    )
+    lineitems = _join(RelationAccess("lineitem"), parts, "l_partkey", "p_partkey")
+    partsupp = Join(
+        lineitems,
+        RelationAccess("partsupp"),
+        and_(
+            Comparison("=", attr("l_partkey"), attr("ps_partkey")),
+            Comparison("=", attr("l_suppkey"), attr("ps_suppkey")),
+        ),
+    )
+    suppliers = _join(partsupp, RelationAccess("supplier"), "l_suppkey", "s_suppkey")
+    orders = _join(suppliers, RelationAccess("orders"), "l_orderkey", "o_orderkey")
+    nations = _join(orders, RelationAccess("nation"), "s_nationkey", "n_nationkey")
+    profit = Arithmetic(
+        "-",
+        _revenue(),
+        Arithmetic("*", attr("ps_supplycost"), attr("l_quantity")),
+    )
+    return Aggregation(
+        nations,
+        ("n_name",),
+        (AggregateSpec("sum", profit, "sum_profit"),),
+    )
+
+
+def tpch_q12() -> Operator:
+    """Q12 shipping modes and order priority: counts per ship mode."""
+    lineitems = Selection(
+        RelationAccess("lineitem"),
+        or_(
+            Comparison("=", attr("l_shipmode"), lit("MAIL")),
+            Comparison("=", attr("l_shipmode"), lit("SHIP")),
+        ),
+    )
+    joined = _join(lineitems, RelationAccess("orders"), "l_orderkey", "o_orderkey")
+    return Aggregation(
+        joined,
+        ("l_shipmode",),
+        (AggregateSpec("count", None, "order_count"),),
+    )
+
+
+def tpch_q14() -> Operator:
+    """Q14 promotion effect (simplified: promo revenue, ungrouped)."""
+    promo_parts = Selection(
+        RelationAccess("part"),
+        Comparison("=", attr("p_type"), lit("PROMO ANODIZED")),
+    )
+    joined = _join(RelationAccess("lineitem"), promo_parts, "l_partkey", "p_partkey")
+    return Aggregation(
+        joined,
+        (),
+        (AggregateSpec("sum", _revenue(), "promo_revenue"),),
+    )
+
+
+def tpch_q19() -> Operator:
+    """Q19 discounted revenue: disjunctive brand/container/quantity predicate."""
+    joined = _join(RelationAccess("lineitem"), RelationAccess("part"), "l_partkey", "p_partkey")
+    filtered = Selection(
+        joined,
+        or_(
+            and_(
+                Comparison("=", attr("p_brand"), lit("Brand#12")),
+                Comparison("<=", attr("l_quantity"), lit(11)),
+                Comparison("<=", attr("p_size"), lit(5)),
+            ),
+            and_(
+                Comparison("=", attr("p_brand"), lit("Brand#23")),
+                Comparison("<=", attr("l_quantity"), lit(20)),
+                Comparison("<=", attr("p_size"), lit(10)),
+            ),
+            and_(
+                Comparison("=", attr("p_brand"), lit("Brand#34")),
+                Comparison("<=", attr("l_quantity"), lit(30)),
+                Comparison("<=", attr("p_size"), lit(15)),
+            ),
+        ),
+    )
+    return Aggregation(
+        filtered,
+        (),
+        (AggregateSpec("sum", _revenue(), "revenue"),),
+    )
+
+
+#: Ordered mapping of TPC-BiH workload query names to plan factories.
+TPCH_WORKLOAD: Dict[str, Callable[[], Operator]] = {
+    "Q1": tpch_q1,
+    "Q5": tpch_q5,
+    "Q6": tpch_q6,
+    "Q7": tpch_q7,
+    "Q8": tpch_q8,
+    "Q9": tpch_q9,
+    "Q12": tpch_q12,
+    "Q14": tpch_q14,
+    "Q19": tpch_q19,
+}
+
+
+def tpch_queries() -> Dict[str, Operator]:
+    """Instantiate every TPC-BiH workload query."""
+    return {name: factory() for name, factory in TPCH_WORKLOAD.items()}

@@ -1,0 +1,36 @@
+"""Multiset engine substrate: tables, catalog, executor, window functions, optimizer."""
+
+from .catalog import DEFAULT_PERIOD, Database
+from .executor import ExecutionContext, ExecutorError, PhysicalOperator, execute
+from .optimizer import optimize
+from .table import Table, TableError
+from .window import (
+    WindowSpec,
+    apply_window,
+    lag,
+    lead,
+    partition_rows,
+    row_number,
+    running_sum,
+    sum_over_partition,
+)
+
+__all__ = [
+    "Table",
+    "TableError",
+    "Database",
+    "DEFAULT_PERIOD",
+    "execute",
+    "ExecutionContext",
+    "ExecutorError",
+    "PhysicalOperator",
+    "optimize",
+    "WindowSpec",
+    "apply_window",
+    "row_number",
+    "lag",
+    "lead",
+    "running_sum",
+    "sum_over_partition",
+    "partition_rows",
+]

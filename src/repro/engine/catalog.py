@@ -1,0 +1,88 @@
+"""The engine catalog: a named collection of multiset period tables.
+
+:class:`Database` plays the role of the DBMS instance the paper's middleware
+connects to.  Besides table storage it records, per table, which pair of
+attributes holds the validity period -- the piece of metadata the user has
+to supply for each relation accessed inside a ``SEQ VT (...)`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .table import Table, TableError
+
+__all__ = ["Database", "DEFAULT_PERIOD"]
+
+#: Default names of the period attributes used by the datasets in this repo.
+DEFAULT_PERIOD: Tuple[str, str] = ("t_begin", "t_end")
+
+
+class Database:
+    """A catalog of multiset tables plus per-table period metadata."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._periods: Dict[str, Tuple[str, str]] = {}
+
+    # -- DDL ----------------------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Iterable[str],
+        rows: Iterable[Sequence] = (),
+        period: Optional[Tuple[str, str]] = None,
+    ) -> Table:
+        """Create (or replace) a table; ``period`` marks its validity attributes."""
+        table = Table(name, schema, rows)
+        if period is not None:
+            begin, end = period
+            if not (table.has_attribute(begin) and table.has_attribute(end)):
+                raise TableError(
+                    f"period attributes {period} not in schema {table.schema}"
+                )
+            self._periods[name] = (begin, end)
+        else:
+            self._periods.pop(name, None)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table, period: Optional[Tuple[str, str]] = None) -> Table:
+        """Register an existing table object under its own name."""
+        return self.create_table(table.name, table.schema, table.rows, period)
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+        self._periods.pop(name, None)
+
+    # -- DML -----------------------------------------------------------------------------------
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> None:
+        self.table(name).extend(rows)
+
+    # -- lookup -----------------------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise TableError(f"unknown table {name!r}") from exc
+
+    def period_of(self, name: str) -> Optional[Tuple[str, str]]:
+        """The (begin, end) attribute pair of a period table, or None."""
+        return self._periods.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._tables)} tables)"
+
+    # -- statistics (used by reports and the optimizer) ----------------------------------------------
+
+    def row_counts(self) -> Mapping[str, int]:
+        return {name: len(table) for name, table in self._tables.items()}

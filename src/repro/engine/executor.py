@@ -1,0 +1,355 @@
+"""Plan execution over multiset tables (the non-temporal query engine).
+
+This is the substrate standing in for PostgreSQL/DBX/DBY in the paper's
+experiments: a straightforward bag-semantics executor for the logical
+algebra of :mod:`repro.algebra.operators`.  The rewriting middleware
+(:mod:`repro.rewriter`) produces ordinary plans plus two *physical extension
+operators* (coalesce and split); those subclass :class:`PhysicalOperator`
+and are executed through the extension hook here, mirroring how the real
+middleware emits plain SQL containing window-function subqueries.
+
+Physical choices:
+
+* joins use a hash join on the equality conjuncts of the predicate (the
+  residual -- e.g. the interval-overlap condition added by the snapshot
+  rewrite -- is evaluated as a filter on candidate pairs), falling back to a
+  nested-loop join when no equality conjunct exists;
+* aggregation is hash aggregation;
+* ``EXCEPT ALL`` is evaluated with multiset counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..abstract_model.krelation import aggregate_rows
+from ..algebra.expressions import Attribute, BooleanOp, Comparison, Expression
+from ..algebra.operators import (
+    Aggregation,
+    AlgebraError,
+    ConstantRelation,
+    Difference,
+    Distinct,
+    Join,
+    Operator,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+)
+from .catalog import Database
+from .table import Table
+
+__all__ = ["ExecutionContext", "PhysicalOperator", "execute", "ExecutorError"]
+
+
+class ExecutorError(AlgebraError):
+    """Raised when a plan cannot be executed."""
+
+
+@dataclass
+class ExecutionContext:
+    """Carries the catalog and execution statistics through a plan run."""
+
+    database: Database
+    statistics: Dict[str, int] | None = None
+
+    def count(self, key: str, amount: int = 1) -> None:
+        if self.statistics is not None:
+            self.statistics[key] = self.statistics.get(key, 0) + amount
+
+
+class PhysicalOperator(Operator):
+    """Extension hook: an operator that executes itself over child tables.
+
+    The snapshot middleware adds coalesce and split this way; custom
+    temporal operators (e.g. a native interval merge join) could be slotted
+    in the same way, which is the integration path Section 10.5 of the paper
+    sketches.
+    """
+
+    def execute(self, children: Sequence[Table], context: ExecutionContext) -> Table:
+        raise NotImplementedError
+
+
+def execute(
+    plan: Operator,
+    database: Database,
+    statistics: Dict[str, int] | None = None,
+) -> Table:
+    """Execute a logical plan against the catalog and return a result table."""
+    context = ExecutionContext(database=database, statistics=statistics)
+    return _execute(plan, context)
+
+
+def _execute(plan: Operator, context: ExecutionContext) -> Table:
+    if isinstance(plan, PhysicalOperator):
+        children = [_execute(child, context) for child in plan.children()]
+        context.count(type(plan).__name__.lower())
+        return plan.execute(children, context)
+
+    if isinstance(plan, RelationAccess):
+        table = context.database.table(plan.name)
+        if plan.alias:
+            return Table(plan.alias, table.schema, table.rows)
+        return table
+
+    if isinstance(plan, ConstantRelation):
+        return Table("constant", plan.schema, plan.rows)
+
+    if isinstance(plan, Selection):
+        return _selection(_execute(plan.child, context), plan.predicate, context)
+
+    if isinstance(plan, Projection):
+        return _projection(_execute(plan.child, context), plan.columns, context)
+
+    if isinstance(plan, Rename):
+        return _rename(_execute(plan.child, context), dict(plan.renames))
+
+    if isinstance(plan, Join):
+        left = _execute(plan.left, context)
+        right = _execute(plan.right, context)
+        return _join(left, right, plan.predicate, context)
+
+    if isinstance(plan, Union):
+        left = _execute(plan.left, context)
+        right = _execute(plan.right, context)
+        return _union(left, right)
+
+    if isinstance(plan, Difference):
+        left = _execute(plan.left, context)
+        right = _execute(plan.right, context)
+        return _except_all(left, right)
+
+    if isinstance(plan, Aggregation):
+        return _aggregate(
+            _execute(plan.child, context), plan.group_by, plan.aggregates
+        )
+
+    if isinstance(plan, Distinct):
+        child = _execute(plan.child, context)
+        result = child.empty_copy("distinct")
+        result.extend(dict.fromkeys(child.rows))
+        return result
+
+    raise ExecutorError(f"unsupported operator {type(plan).__name__}")
+
+
+# -- individual physical operators ---------------------------------------------------------------
+
+
+def _selection(table: Table, predicate: Expression, context: ExecutionContext) -> Table:
+    result = table.empty_copy("selection")
+    schema = table.schema
+    for row in table.rows:
+        if predicate.evaluate(dict(zip(schema, row))):
+            result.append(row)
+    context.count("rows_filtered", len(table) - len(result))
+    return result
+
+
+def _projection(
+    table: Table, columns: Tuple[Tuple[Expression, str], ...], context: ExecutionContext
+) -> Table:
+    result = Table("projection", tuple(name for _, name in columns))
+    schema = table.schema
+    simple_indexes = _simple_attribute_indexes(table, columns)
+    if simple_indexes is not None:
+        for row in table.rows:
+            result.append(tuple(row[i] for i in simple_indexes))
+        return result
+    for row in table.rows:
+        row_dict = dict(zip(schema, row))
+        result.append(tuple(expr.evaluate(row_dict) for expr, _ in columns))
+    return result
+
+
+def _simple_attribute_indexes(
+    table: Table, columns: Tuple[Tuple[Expression, str], ...]
+) -> Optional[List[int]]:
+    """Positional fast path when every projection expression is an attribute."""
+    indexes: List[int] = []
+    for expr, _name in columns:
+        if not isinstance(expr, Attribute):
+            return None
+        indexes.append(table.column_index(expr.name))
+    return indexes
+
+
+def _rename(table: Table, renames: Dict[str, str]) -> Table:
+    missing = set(renames) - set(table.schema)
+    if missing:
+        raise ExecutorError(f"cannot rename unknown attributes {sorted(missing)}")
+    schema = tuple(renames.get(name, name) for name in table.schema)
+    return Table(table.name, schema, table.rows)
+
+
+def _union(left: Table, right: Table) -> Table:
+    if len(left.schema) != len(right.schema):
+        raise ExecutorError(
+            f"union-incompatible schemas {left.schema} and {right.schema}"
+        )
+    result = left.empty_copy("union")
+    result.rows = list(left.rows) + list(right.rows)
+    return result
+
+
+def _except_all(left: Table, right: Table) -> Table:
+    if len(left.schema) != len(right.schema):
+        raise ExecutorError(
+            f"difference-incompatible schemas {left.schema} and {right.schema}"
+        )
+    remaining = Counter(left.rows)
+    remaining.subtract(Counter(right.rows))
+    result = left.empty_copy("except_all")
+    for row, count in remaining.items():
+        if count > 0:
+            result.rows.extend([row] * count)
+    return result
+
+
+def _aggregate(table: Table, group_by: Tuple[str, ...], aggregates) -> Table:
+    unknown = set(group_by) - set(table.schema)
+    if unknown:
+        raise ExecutorError(f"unknown group-by attributes {sorted(unknown)}")
+    group_indexes = [table.column_index(a) for a in group_by]
+    schema = table.schema
+
+    groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in group_indexes)
+        groups.setdefault(key, []).append(dict(zip(schema, row)))
+    if not group_by and not groups:
+        groups[()] = []
+
+    result = Table(
+        "aggregation", tuple(group_by) + tuple(spec.alias for spec in aggregates)
+    )
+    for key, members in groups.items():
+        weighted = [(row, 1) for row in members]
+        values = tuple(
+            aggregate_rows(spec.func, spec.argument, weighted) for spec in aggregates
+        )
+        result.append(key + values)
+    return result
+
+
+# -- join -----------------------------------------------------------------------------------------
+
+
+def _join(
+    left: Table,
+    right: Table,
+    predicate: Optional[Expression],
+    context: ExecutionContext,
+) -> Table:
+    overlap = set(left.schema) & set(right.schema)
+    if overlap:
+        raise ExecutorError(
+            f"join inputs share attributes {sorted(overlap)}; rename first"
+        )
+    schema = left.schema + right.schema
+    result = Table("join", schema)
+
+    equi_keys, residual = _split_join_predicate(predicate, left, right)
+    if equi_keys:
+        context.count("hash_joins")
+        _hash_join(left, right, equi_keys, residual, result)
+    else:
+        context.count("nested_loop_joins")
+        _nested_loop_join(left, right, predicate, result)
+    return result
+
+
+def _split_join_predicate(
+    predicate: Optional[Expression], left: Table, right: Table
+) -> Tuple[List[Tuple[int, int]], Optional[Expression]]:
+    """Split a predicate into hashable equi-join key pairs and a residual.
+
+    Returns ``(pairs, residual)`` where each pair is (left column index,
+    right column index).  Conjuncts that are not attribute equalities across
+    the two inputs stay in the residual expression.
+    """
+    if predicate is None:
+        return [], None
+    conjuncts = _flatten_conjuncts(predicate)
+    pairs: List[Tuple[int, int]] = []
+    residual: List[Expression] = []
+    for conjunct in conjuncts:
+        pair = _equi_pair(conjunct, left, right)
+        if pair is None:
+            residual.append(conjunct)
+        else:
+            pairs.append(pair)
+    if not residual:
+        return pairs, None
+    if len(residual) == 1:
+        return pairs, residual[0]
+    return pairs, BooleanOp("and", tuple(residual))
+
+
+def _flatten_conjuncts(predicate: Expression) -> List[Expression]:
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        result: List[Expression] = []
+        for operand in predicate.operands:
+            result.extend(_flatten_conjuncts(operand))
+        return result
+    return [predicate]
+
+
+def _equi_pair(
+    conjunct: Expression, left: Table, right: Table
+) -> Optional[Tuple[int, int]]:
+    if not (isinstance(conjunct, Comparison) and conjunct.op == "="):
+        return None
+    lhs, rhs = conjunct.left, conjunct.right
+    if not (isinstance(lhs, Attribute) and isinstance(rhs, Attribute)):
+        return None
+    if left.has_attribute(lhs.name) and right.has_attribute(rhs.name):
+        return left.column_index(lhs.name), right.column_index(rhs.name)
+    if left.has_attribute(rhs.name) and right.has_attribute(lhs.name):
+        return left.column_index(rhs.name), right.column_index(lhs.name)
+    return None
+
+
+def _hash_join(
+    left: Table,
+    right: Table,
+    keys: List[Tuple[int, int]],
+    residual: Optional[Expression],
+    result: Table,
+) -> None:
+    left_indexes = [li for li, _ri in keys]
+    right_indexes = [ri for _li, ri in keys]
+
+    buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in right.rows:
+        buckets.setdefault(tuple(row[i] for i in right_indexes), []).append(row)
+
+    left_schema, right_schema = left.schema, right.schema
+    for left_row in left.rows:
+        key = tuple(left_row[i] for i in left_indexes)
+        for right_row in buckets.get(key, ()):
+            if residual is not None:
+                combined = dict(zip(left_schema, left_row))
+                combined.update(zip(right_schema, right_row))
+                if not residual.evaluate(combined):
+                    continue
+            result.append(left_row + right_row)
+
+
+def _nested_loop_join(
+    left: Table, right: Table, predicate: Optional[Expression], result: Table
+) -> None:
+    left_schema, right_schema = left.schema, right.schema
+    for left_row in left.rows:
+        left_dict = dict(zip(left_schema, left_row))
+        for right_row in right.rows:
+            if predicate is not None:
+                combined = {**left_dict, **dict(zip(right_schema, right_row))}
+                if not predicate.evaluate(combined):
+                    continue
+            result.append(left_row + right_row)

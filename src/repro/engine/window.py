@@ -1,0 +1,150 @@
+"""Analytic (window) functions over multiset tables.
+
+The paper implements multiset coalescing with SQL analytic window functions
+(Section 9): per group of value-equivalent tuples it counts the number of
+open validity intervals at every interval end point, derives annotation
+changepoints from differences between consecutive counts, and emits maximal
+intervals.  This module supplies the window machinery that implementation
+needs -- partitioning, intra-partition ordering and a handful of standard
+window functions (``row_number``, ``lag``, ``lead``, ``running_sum``,
+``sum_over_partition``) -- in a reusable form, so the coalesce and split
+operators in :mod:`repro.rewriter` read like their SQL counterparts.
+
+Complexity matches the SQL execution model: one sort per distinct window
+declaration, i.e. ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .table import Row, Table
+
+__all__ = [
+    "WindowSpec",
+    "WindowFunction",
+    "row_number",
+    "lag",
+    "lead",
+    "running_sum",
+    "sum_over_partition",
+    "apply_window",
+    "partition_rows",
+]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """``PARTITION BY partition_by ORDER BY order_by`` (ascending)."""
+
+    partition_by: Tuple[str, ...] = ()
+    order_by: Tuple[str, ...] = ()
+
+
+#: A window function receives the ordered rows of one partition (as dicts)
+#: and returns one output value per row.
+WindowFunction = Callable[[List[Dict[str, Any]]], List[Any]]
+
+
+def row_number() -> WindowFunction:
+    """``row_number() OVER (...)`` -- 1-based position within the partition."""
+
+    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+        return list(range(1, len(rows) + 1))
+
+    return compute
+
+
+def lag(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction:
+    """``lag(attribute, offset, default) OVER (...)``."""
+
+    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+        values = [row[attribute] for row in rows]
+        return [
+            values[i - offset] if i - offset >= 0 else default
+            for i in range(len(values))
+        ]
+
+    return compute
+
+
+def lead(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction:
+    """``lead(attribute, offset, default) OVER (...)``."""
+
+    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+        values = [row[attribute] for row in rows]
+        return [
+            values[i + offset] if i + offset < len(values) else default
+            for i in range(len(values))
+        ]
+
+    return compute
+
+
+def running_sum(attribute: str) -> WindowFunction:
+    """``sum(attribute) OVER (... ROWS UNBOUNDED PRECEDING)`` -- prefix sums."""
+
+    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+        total = 0
+        prefix: List[Any] = []
+        for row in rows:
+            value = row[attribute]
+            total += 0 if value is None else value
+            prefix.append(total)
+        return prefix
+
+    return compute
+
+
+def sum_over_partition(attribute: str) -> WindowFunction:
+    """``sum(attribute) OVER (PARTITION BY ...)`` -- one total per partition."""
+
+    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+        total = sum(row[attribute] or 0 for row in rows)
+        return [total] * len(rows)
+
+    return compute
+
+
+def partition_rows(
+    table: Table, partition_by: Sequence[str]
+) -> Dict[Tuple[Any, ...], List[Row]]:
+    """Group the table's rows by the values of the partition attributes."""
+    indexes = [table.column_index(a) for a in partition_by]
+    partitions: Dict[Tuple[Any, ...], List[Row]] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in indexes)
+        partitions.setdefault(key, []).append(row)
+    return partitions
+
+
+def apply_window(
+    table: Table,
+    spec: WindowSpec,
+    functions: Mapping[str, WindowFunction],
+    output_name: str | None = None,
+) -> Table:
+    """Evaluate window functions and append their results as new columns.
+
+    ``functions`` maps output attribute names to window functions evaluated
+    over the same :class:`WindowSpec` (sharing the sort, like a DBMS sharing
+    window declarations).  The output schema is the input schema followed by
+    the new attributes in mapping order.
+    """
+    new_attributes = tuple(functions)
+    clash = set(new_attributes) & set(table.schema)
+    if clash:
+        raise ValueError(f"window output attributes {sorted(clash)} already exist")
+
+    result = Table(output_name or table.name, table.schema + new_attributes)
+    order_indexes = [table.column_index(a) for a in spec.order_by]
+
+    for _key, rows in partition_rows(table, spec.partition_by).items():
+        ordered = sorted(rows, key=lambda row: tuple(row[i] for i in order_indexes))
+        row_dicts = [table.row_dict(row) for row in ordered]
+        columns = {name: func(row_dicts) for name, func in functions.items()}
+        for position, row in enumerate(ordered):
+            extra = tuple(columns[name][position] for name in new_attributes)
+            result.append(row + extra)
+    return result

@@ -1,0 +1,70 @@
+"""Command-line entry point: ``python -m repro.experiments [experiment ...]``.
+
+Runs the requested experiment drivers (default: all of them at small scale)
+and prints the paper-style tables/series to stdout.  Available experiment
+names: ``figure5``, ``table1``, ``table2``, ``table3``, ``ablation``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from . import (
+    format_ablation,
+    format_figure5,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_ablation,
+    run_figure5,
+    run_table1,
+    run_table2_employee,
+    run_table2_tpch,
+    run_table3_employee,
+    run_table3_tpch,
+)
+
+ALL_EXPERIMENTS = ("table1", "figure5", "table2", "table3", "ablation")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures at laptop scale.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(ALL_EXPERIMENTS),
+        choices=list(ALL_EXPERIMENTS) + [[]],
+        help="Which experiments to run (default: all).",
+    )
+    parser.add_argument(
+        "--figure5-sizes",
+        type=int,
+        nargs="+",
+        default=[1_000, 5_000, 10_000, 30_000],
+        help="Input sizes (rows) for the coalescing scaling experiment.",
+    )
+    args = parser.parse_args(argv)
+    experiments = args.experiments or list(ALL_EXPERIMENTS)
+
+    for experiment in experiments:
+        if experiment == "table1":
+            print(format_table1(run_table1()))
+        elif experiment == "figure5":
+            print(format_figure5(run_figure5(sizes=args.figure5_sizes)))
+        elif experiment == "table2":
+            print(format_table2(run_table2_employee(), run_table2_tpch()))
+        elif experiment == "table3":
+            print(format_table3(run_table3_employee(), run_table3_tpch()))
+        elif experiment == "ablation":
+            print(format_ablation(run_ablation()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

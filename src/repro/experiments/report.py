@@ -1,0 +1,62 @@
+"""Small formatting helpers shared by the experiment drivers.
+
+Every experiment driver returns plain Python data (lists of row dicts) and
+offers a ``format_*`` function that renders the same table the paper prints,
+so the drivers are usable both programmatically (tests, notebooks) and from
+the command line (``python -m repro.experiments``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_seconds"]
+
+
+def format_seconds(value: Any) -> str:
+    """Render a runtime in seconds with sensible precision (or a marker)."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, str):
+        return value
+    if value < 0.01:
+        return f"{value * 1000:.2f}ms"
+    return f"{value:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts keyed by header) as a fixed-width text table."""
+    materialised: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialised.append([_render(row.get(h)) for h in headers])
+    widths = [
+        max(len(line[column]) for line in materialised)
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cell.ljust(width) for cell, width in zip(materialised[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row_cells in materialised[1:]:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row_cells, widths))
+        )
+    return "\n".join(lines)
+
+
+def _render(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

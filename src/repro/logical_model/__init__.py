@@ -1,0 +1,6 @@
+"""Logical model: period K-relations annotated with elements of ``K^T``."""
+
+from .database import PeriodDatabase, evaluate_period_query
+from .period_relation import PeriodKRelation
+
+__all__ = ["PeriodKRelation", "PeriodDatabase", "evaluate_period_query"]

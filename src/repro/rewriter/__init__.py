@@ -1,0 +1,21 @@
+"""Snapshot middleware: PERIODENC encoding, temporal physical operators,
+the REWR rewriting and the user-facing :class:`SnapshotMiddleware`."""
+
+from .middleware import SnapshotMiddleware
+from .operators import CoalesceOperator, SplitOperator, TemporalAggregateOperator
+from .periodenc import T_BEGIN, T_END, period_decode, period_encode, period_schema
+from .rewrite import RewriteError, SnapshotRewriter
+
+__all__ = [
+    "SnapshotMiddleware",
+    "SnapshotRewriter",
+    "RewriteError",
+    "CoalesceOperator",
+    "SplitOperator",
+    "TemporalAggregateOperator",
+    "period_encode",
+    "period_decode",
+    "period_schema",
+    "T_BEGIN",
+    "T_END",
+]

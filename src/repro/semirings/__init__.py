@@ -1,0 +1,53 @@
+"""Semiring framework: annotation domains for K-relations.
+
+The public surface re-exports the abstract interfaces from
+:mod:`repro.semirings.base`, the standard semirings (B, N, tropical,
+security) from :mod:`repro.semirings.standard`, and the provenance semirings
+from :mod:`repro.semirings.provenance`.
+"""
+
+from .base import (
+    MonusSemiring,
+    NotNaturallyOrderedError,
+    Semiring,
+    SemiringError,
+    SemiringHomomorphism,
+)
+from .provenance import (
+    POLYNOMIAL,
+    WHY_PROVENANCE,
+    Polynomial,
+    PolynomialSemiring,
+    WhyProvenanceSemiring,
+)
+from .standard import (
+    BOOLEAN,
+    NATURAL,
+    SECURITY,
+    TROPICAL,
+    BooleanSemiring,
+    NaturalSemiring,
+    SecuritySemiring,
+    TropicalSemiring,
+)
+
+__all__ = [
+    "Semiring",
+    "MonusSemiring",
+    "SemiringHomomorphism",
+    "SemiringError",
+    "NotNaturallyOrderedError",
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "TropicalSemiring",
+    "SecuritySemiring",
+    "WhyProvenanceSemiring",
+    "PolynomialSemiring",
+    "Polynomial",
+    "BOOLEAN",
+    "NATURAL",
+    "TROPICAL",
+    "SECURITY",
+    "WHY_PROVENANCE",
+    "POLYNOMIAL",
+]

@@ -1,0 +1,222 @@
+"""Provenance semirings: why-provenance and provenance polynomials N[X].
+
+The paper's framework is parameterised by an arbitrary semiring K; besides
+sets (B) and bags (N) it explicitly mentions provenance-annotated and
+probabilistic databases as beneficiaries (Section 11).  This module provides
+two standard provenance semirings so examples and tests can exercise the
+"any K" claim:
+
+* :class:`WhyProvenanceSemiring` -- annotations are sets of *witnesses*
+  (a witness is a set of base-tuple identifiers).  Addition is set union,
+  multiplication is pairwise union of witnesses.
+* :class:`PolynomialSemiring` -- the free commutative semiring N[X] of
+  provenance polynomials over variables X.  Polynomials are kept in a
+  canonical sorted-monomial form so equal polynomials compare equal, which
+  the coalescing normal form requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from .base import Semiring, SemiringError
+
+__all__ = [
+    "WhyProvenanceSemiring",
+    "PolynomialSemiring",
+    "Polynomial",
+    "WHY_PROVENANCE",
+    "POLYNOMIAL",
+]
+
+
+Witness = FrozenSet[str]
+WitnessSet = FrozenSet[Witness]
+
+
+class WhyProvenanceSemiring(Semiring):
+    """Why-provenance: annotations are sets of sets of tuple identifiers."""
+
+    name = "Why"
+
+    @property
+    def zero(self) -> WitnessSet:
+        return frozenset()
+
+    @property
+    def one(self) -> WitnessSet:
+        return frozenset({frozenset()})
+
+    def plus(self, a: Any, b: Any) -> WitnessSet:
+        return frozenset(a) | frozenset(b)
+
+    def times(self, a: Any, b: Any) -> WitnessSet:
+        return frozenset(w1 | w2 for w1 in a for w2 in b)
+
+    def is_member(self, a: Any) -> bool:
+        return isinstance(a, frozenset) and all(isinstance(w, frozenset) for w in a)
+
+    @staticmethod
+    def tuple_id(identifier: str) -> WitnessSet:
+        """Annotation for a base tuple with the given identifier."""
+        return frozenset({frozenset({identifier})})
+
+
+# A monomial maps variable name -> exponent; stored as a sorted tuple of
+# (variable, exponent) pairs so it is hashable and canonical.
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+class Polynomial:
+    """An element of N[X]: a finite map from monomials to positive coefficients.
+
+    Instances are immutable and hashable.  Construction normalises away zero
+    coefficients and zero exponents so structural equality coincides with
+    mathematical equality.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int] | None = None) -> None:
+        cleaned: Dict[Monomial, int] = {}
+        for monomial, coefficient in (terms or {}).items():
+            if coefficient < 0:
+                raise SemiringError("N[X] coefficients must be non-negative")
+            if coefficient == 0:
+                continue
+            # Canonicalise the monomial: merge repeated variables, drop zero
+            # exponents, sort by variable name.
+            exponents: Dict[str, int] = {}
+            for variable, exponent in monomial:
+                exponents[variable] = exponents.get(variable, 0) + exponent
+            normalised = tuple(
+                sorted((v, e) for v, e in exponents.items() if e != 0)
+            )
+            cleaned[normalised] = cleaned.get(normalised, 0) + coefficient
+        self._terms: Tuple[Tuple[Monomial, int], ...] = tuple(
+            sorted(cleaned.items())
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls({})
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        return cls({(): 1})
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        return cls({((name, 1),): 1})
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        return cls({(): value}) if value else cls.zero()
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def terms(self) -> Mapping[Monomial, int]:
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(v for monomial, _ in self._terms for v, _e in monomial)
+
+    def evaluate(self, target: Semiring, assignment: Mapping[str, Any]) -> Any:
+        """Evaluate the polynomial in ``target`` under a variable assignment.
+
+        This is the standard way of specialising provenance polynomials: the
+        unique homomorphism N[X] -> K induced by ``assignment``.
+        """
+        total = target.zero
+        for monomial, coefficient in self._terms:
+            term = target.from_int(coefficient)
+            for variable, exponent in monomial:
+                if variable not in assignment:
+                    raise SemiringError(f"no assignment for variable {variable!r}")
+                term = target.times(term, target.pow(assignment[variable], exponent))
+            total = target.plus(total, term)
+        return total
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms:
+            terms[monomial] = terms.get(monomial, 0) + coefficient
+        return Polynomial(terms)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        terms: Dict[Monomial, int] = {}
+        for m1, c1 in self._terms:
+            for m2, c2 in other._terms:
+                exponents: Dict[str, int] = {}
+                for variable, exponent in m1 + m2:
+                    exponents[variable] = exponents.get(variable, 0) + exponent
+                monomial = tuple(sorted(exponents.items()))
+                terms[monomial] = terms.get(monomial, 0) + c1 * c2
+        return Polynomial(terms)
+
+    # -- dunder plumbing -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(self._terms)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self._terms:
+            factors = [
+                variable if exponent == 1 else f"{variable}^{exponent}"
+                for variable, exponent in monomial
+            ]
+            if coefficient != 1 or not factors:
+                factors.insert(0, str(coefficient))
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+
+class PolynomialSemiring(Semiring):
+    """The free commutative semiring N[X] of provenance polynomials."""
+
+    name = "N[X]"
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def plus(self, a: Any, b: Any) -> Polynomial:
+        return a + b
+
+    def times(self, a: Any, b: Any) -> Polynomial:
+        return a * b
+
+    def is_member(self, a: Any) -> bool:
+        return isinstance(a, Polynomial)
+
+    def is_zero(self, a: Any) -> bool:
+        return isinstance(a, Polynomial) and a.is_zero()
+
+    def from_int(self, n: int) -> Polynomial:
+        return Polynomial.constant(n)
+
+    @staticmethod
+    def variable(name: str) -> Polynomial:
+        return Polynomial.variable(name)
+
+
+WHY_PROVENANCE = WhyProvenanceSemiring()
+POLYNOMIAL = PolynomialSemiring()

@@ -1,0 +1,202 @@
+"""The standard annotation semirings used in the paper and its examples.
+
+* :data:`BOOLEAN` -- the semiring ``(B, or, and, False, True)``; K-relations
+  over B are ordinary set-semantics relations.
+* :data:`NATURAL` -- the semiring ``(N, +, *, 0, 1)``; K-relations over N are
+  multiset (bag) relations, the main target of the paper.
+* :data:`TROPICAL` -- min-plus semiring, a classic cost / shortest-path
+  annotation domain; included to demonstrate the "any semiring K" claim.
+* :data:`SECURITY` -- the access-control semiring from the provenance
+  literature (levels public < confidential < secret < top-secret).
+
+B, N and SECURITY are m-semirings (they carry a monus), TROPICAL is not
+naturally ordered in the required sense and therefore is not.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import MonusSemiring, Semiring, SemiringError
+
+__all__ = [
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "TropicalSemiring",
+    "SecuritySemiring",
+    "BOOLEAN",
+    "NATURAL",
+    "TROPICAL",
+    "SECURITY",
+]
+
+
+class BooleanSemiring(MonusSemiring):
+    """``(B, or, and, False, True)`` -- set semantics.
+
+    The monus is ``a - b = a and not b``: a tuple survives set difference iff
+    it is present on the left and absent on the right.
+    """
+
+    name = "B"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: Any, b: Any) -> bool:
+        return bool(a) or bool(b)
+
+    def times(self, a: Any, b: Any) -> bool:
+        return bool(a) and bool(b)
+
+    def is_member(self, a: Any) -> bool:
+        return isinstance(a, bool)
+
+    def natural_leq(self, a: Any, b: Any) -> bool:
+        # False <= False, False <= True, True <= True; True <= False fails.
+        return (not a) or bool(b)
+
+    def monus(self, a: Any, b: Any) -> bool:
+        return bool(a) and not bool(b)
+
+    def from_int(self, n: int) -> bool:
+        if n < 0:
+            raise SemiringError("cannot embed a negative integer into B")
+        return n > 0
+
+
+class NaturalSemiring(MonusSemiring):
+    """``(N, +, *, 0, 1)`` -- multiset (bag) semantics.
+
+    This is the semiring the SQL-period-relation encoding targets: the
+    annotation of a tuple is its multiplicity.  The monus is truncating
+    subtraction, which yields SQL's ``EXCEPT ALL`` semantics per snapshot.
+    """
+
+    name = "N"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, a: Any, b: Any) -> int:
+        return int(a) + int(b)
+
+    def times(self, a: Any, b: Any) -> int:
+        return int(a) * int(b)
+
+    def is_member(self, a: Any) -> bool:
+        return isinstance(a, int) and not isinstance(a, bool) and a >= 0
+
+    def natural_leq(self, a: Any, b: Any) -> bool:
+        return int(a) <= int(b)
+
+    def monus(self, a: Any, b: Any) -> int:
+        return max(0, int(a) - int(b))
+
+    def from_int(self, n: int) -> int:
+        if n < 0:
+            raise SemiringError("cannot embed a negative integer into N")
+        return n
+
+
+class TropicalSemiring(Semiring):
+    """Min-plus semiring ``(N ∪ {inf}, min, +, inf, 0)``.
+
+    Annotations can be read as the cost of the cheapest derivation of a
+    tuple.  Included to exercise the framework with a semiring whose addition
+    is idempotent but which is *not* an m-semiring, so difference queries are
+    rejected for it.
+    """
+
+    name = "Trop"
+
+    _INF = float("inf")
+
+    @property
+    def zero(self) -> float:
+        return self._INF
+
+    @property
+    def one(self) -> float:
+        return 0
+
+    def plus(self, a: Any, b: Any) -> Any:
+        return min(a, b)
+
+    def times(self, a: Any, b: Any) -> Any:
+        if a == self._INF or b == self._INF:
+            return self._INF
+        return a + b
+
+    def is_member(self, a: Any) -> bool:
+        return a == self._INF or (isinstance(a, (int, float)) and a >= 0)
+
+
+class SecuritySemiring(MonusSemiring):
+    """The access-control semiring over clearance levels.
+
+    Levels are totally ordered ``PUBLIC < CONFIDENTIAL < SECRET < TOP_SECRET
+    < NO_ACCESS``.  Addition takes the *least* restrictive level (min),
+    multiplication the *most* restrictive (max); ``NO_ACCESS`` is the zero
+    and ``PUBLIC`` the one.  The natural order is the reverse of the level
+    order, and the monus returns the left operand when it is strictly more
+    accessible than the right, otherwise ``NO_ACCESS``.
+    """
+
+    name = "Sec"
+
+    PUBLIC = 0
+    CONFIDENTIAL = 1
+    SECRET = 2
+    TOP_SECRET = 3
+    NO_ACCESS = 4
+
+    LEVELS = (PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET, NO_ACCESS)
+
+    @property
+    def zero(self) -> int:
+        return self.NO_ACCESS
+
+    @property
+    def one(self) -> int:
+        return self.PUBLIC
+
+    def plus(self, a: Any, b: Any) -> int:
+        return min(int(a), int(b))
+
+    def times(self, a: Any, b: Any) -> int:
+        return max(int(a), int(b))
+
+    def is_member(self, a: Any) -> bool:
+        return a in self.LEVELS
+
+    def natural_leq(self, a: Any, b: Any) -> bool:
+        # a <= b iff exists c: min(a, c) = b, i.e. b is at most as
+        # restrictive as ... careful: addition is min, so a + c = b is
+        # solvable iff b <= a (taking c = b).  Hence natural order is the
+        # reverse of the numeric order.
+        return int(b) <= int(a)
+
+    def monus(self, a: Any, b: Any) -> int:
+        # Least c (wrt natural order, i.e. numerically greatest) such that
+        # a >= min(b, c).  If b <= a already, any c works; the least such c
+        # in the natural order is NO_ACCESS.  Otherwise c must equal a.
+        if self.natural_leq(a, b):
+            return self.NO_ACCESS
+        return int(a)
+
+
+BOOLEAN = BooleanSemiring()
+NATURAL = NaturalSemiring()
+TROPICAL = TropicalSemiring()
+SECURITY = SecuritySemiring()

@@ -1,0 +1,29 @@
+"""Temporal core: time domains, intervals, temporal K-elements, K-coalescing
+and the period semiring construction ``K^T``."""
+
+from .coalesce import (
+    annotation_changepoints,
+    changepoint_intervals,
+    coalesce_annotations,
+    k_coalesce,
+)
+from .elements import TemporalElement
+from .intervals import Interval, elementary_intervals, merge_adjacent
+from .period_semiring import PeriodSemiring, period_semiring, timeslice_homomorphism
+from .timedomain import DAY_HOURS, TimeDomain
+
+__all__ = [
+    "TimeDomain",
+    "DAY_HOURS",
+    "Interval",
+    "elementary_intervals",
+    "merge_adjacent",
+    "TemporalElement",
+    "k_coalesce",
+    "annotation_changepoints",
+    "changepoint_intervals",
+    "coalesce_annotations",
+    "PeriodSemiring",
+    "period_semiring",
+    "timeslice_homomorphism",
+]

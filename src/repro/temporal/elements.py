@@ -1,0 +1,355 @@
+"""Temporal K-elements: interval-indexed annotation histories (paper Section 5).
+
+A *temporal K-element* is a function from intervals to semiring values; it
+records how the K-annotation of one tuple evolves over time.  The annotation
+valid at a time point ``T`` is the semiring *sum* over all intervals
+containing ``T`` (the paper's timeslice operator for temporal elements), so
+overlapping intervals are meaningful and the representation of a history is
+not unique -- which is exactly why the paper introduces the K-coalescing
+normal form (Definition 5.3) implemented by :meth:`TemporalElement.coalesce`.
+
+Design notes
+------------
+* Elements are immutable and hashable; the period semiring ``K^T`` uses them
+  as annotation values and relies on structural equality of the normal form.
+* The point-wise operations (+, *, monus) are evaluated interval-wise: both
+  operands are first reduced to their annotation changepoints, the union of
+  changepoints induces elementary segments on which both operands are
+  constant, and the K-operation is applied per segment.  By distributivity
+  this coincides with the paper's point-wise definitions followed by
+  coalescing, but costs O(n log n) instead of O(|T|).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..semirings.base import Semiring, SemiringError
+from .intervals import Interval
+from .timedomain import TimeDomain
+
+__all__ = ["TemporalElement"]
+
+
+class TemporalElement:
+    """An immutable mapping from intervals to non-zero K-values.
+
+    Parameters
+    ----------
+    semiring:
+        The annotation semiring K.
+    domain:
+        The time domain T; intervals are clamped to it.
+    mapping:
+        Interval -> K value.  Intervals mapped to ``0_K`` are dropped.
+    """
+
+    __slots__ = ("semiring", "domain", "_entries", "_hash")
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        domain: TimeDomain,
+        mapping: Mapping[Interval, Any] | Iterable[Tuple[Interval, Any]] = (),
+    ) -> None:
+        self.semiring = semiring
+        self.domain = domain
+        entries: Dict[Interval, Any] = {}
+        items = mapping.items() if isinstance(mapping, Mapping) else mapping
+        for interval, value in items:
+            begin, end = domain.clamp(interval.begin, interval.end)
+            if begin >= end:
+                continue
+            clamped = Interval(begin, end)
+            if clamped in entries:
+                value = semiring.plus(entries[clamped], value)
+            if semiring.is_zero(value):
+                entries.pop(clamped, None)
+                continue
+            entries[clamped] = value
+        self._entries: Tuple[Tuple[Interval, Any], ...] = tuple(
+            sorted(entries.items(), key=lambda item: (item[0].begin, item[0].end))
+        )
+        self._hash: Optional[int] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, semiring: Semiring, domain: TimeDomain) -> "TemporalElement":
+        """The temporal element mapping every interval to ``0_K``."""
+        return cls(semiring, domain, ())
+
+    @classmethod
+    def universe(cls, semiring: Semiring, domain: TimeDomain) -> "TemporalElement":
+        """The element mapping ``[Tmin, Tmax)`` to ``1_K`` (the ``1`` of K^T)."""
+        return cls(semiring, domain, {Interval(*domain.universe()): semiring.one})
+
+    @classmethod
+    def singleton(
+        cls,
+        semiring: Semiring,
+        domain: TimeDomain,
+        interval: Interval,
+        value: Any | None = None,
+    ) -> "TemporalElement":
+        """An element assigning ``value`` (default ``1_K``) to one interval."""
+        if value is None:
+            value = semiring.one
+        return cls(semiring, domain, {interval: value})
+
+    @classmethod
+    def from_points(
+        cls,
+        semiring: Semiring,
+        domain: TimeDomain,
+        point_values: Mapping[int, Any],
+    ) -> "TemporalElement":
+        """Build a coalesced element from per-time-point annotations.
+
+        This is the temporal-element half of the paper's ``ENC_K`` mapping
+        (Definition 6.3): each point ``T`` with annotation ``k`` contributes
+        the singleton interval ``[T, T+1) -> k``; the result is coalesced.
+        """
+        element = cls(
+            semiring,
+            domain,
+            {
+                Interval(point, domain.successor(point)): value
+                for point, value in point_values.items()
+                if not semiring.is_zero(value)
+            },
+        )
+        return element.coalesce()
+
+    # -- basic accessors -----------------------------------------------------------
+
+    @property
+    def mapping(self) -> Dict[Interval, Any]:
+        """A copy of the interval -> value mapping (non-zero entries only)."""
+        return dict(self._entries)
+
+    def items(self) -> Iterator[Tuple[Interval, Any]]:
+        return iter(self._entries)
+
+    def intervals(self) -> List[Interval]:
+        return [interval for interval, _ in self._entries]
+
+    def is_empty(self) -> bool:
+        """True iff the element annotates every time point with ``0_K``."""
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    # -- the timeslice operator ------------------------------------------------------
+
+    def at(self, point: int) -> Any:
+        """The annotation valid at ``point``: sum over covering intervals.
+
+        This is the paper's timeslice operator ``tau_T`` for temporal
+        K-elements.
+        """
+        self.domain.validate_point(point)
+        return self.semiring.sum(
+            value for interval, value in self._entries if point in interval
+        )
+
+    def snapshot_equivalent(self, other: "TemporalElement") -> bool:
+        """True iff both elements encode the same annotation at every point."""
+        self._check_compatible(other)
+        for segment, left, right in self._aligned_segments(other):
+            del segment
+            if left != right:
+                return False
+        return True
+
+    # -- changepoints and coalescing ------------------------------------------------
+
+    def changepoints(self) -> List[int]:
+        """Annotation changepoints per Definition 5.2 (always includes Tmin)."""
+        points = [self.domain.min_point]
+        previous = None
+        for segment, value in self._segments():
+            if previous is None:
+                previous_value = self.semiring.zero
+            else:
+                previous_value = previous
+            if segment.begin != self.domain.min_point and value != previous_value:
+                points.append(segment.begin)
+            previous = value
+        return points
+
+    def _endpoints(self) -> List[int]:
+        """All interval endpoints, plus the domain bounds."""
+        points = {self.domain.min_point, self.domain.max_point}
+        for interval, _ in self._entries:
+            points.add(interval.begin)
+            points.add(interval.end)
+        return sorted(points)
+
+    def _segments(self) -> Iterator[Tuple[Interval, Any]]:
+        """Yield (elementary interval, annotation) covering the whole domain.
+
+        Consecutive segments may carry equal annotations; coalescing merges
+        them.  Segments whose annotation is ``0_K`` are still yielded so the
+        caller can see gaps (needed e.g. for aggregation over gaps).
+        """
+        endpoints = self._endpoints()
+        entries = self._entries
+        for begin, end in zip(endpoints, endpoints[1:]):
+            segment = Interval(begin, end)
+            value = self.semiring.sum(
+                v for interval, v in entries if interval.overlaps(segment)
+            )
+            yield segment, value
+
+    def _aligned_segments(
+        self, other: "TemporalElement"
+    ) -> Iterator[Tuple[Interval, Any, Any]]:
+        """Yield (segment, value_in_self, value_in_other) over joint endpoints."""
+        endpoints = sorted(set(self._endpoints()) | set(other._endpoints()))
+        for begin, end in zip(endpoints, endpoints[1:]):
+            segment = Interval(begin, end)
+            left = self.semiring.sum(
+                v for interval, v in self._entries if interval.overlaps(segment)
+            )
+            right = other.semiring.sum(
+                v for interval, v in other._entries if interval.overlaps(segment)
+            )
+            yield segment, left, right
+
+    def coalesce(self) -> "TemporalElement":
+        """K-coalescing (Definition 5.3): the unique normal form.
+
+        Produces maximal intervals of constant, non-zero annotation; the
+        result has no overlapping intervals and no adjacent intervals with
+        equal annotation.
+        """
+        merged: List[Tuple[Interval, Any]] = []
+        for segment, value in self._segments():
+            if self.semiring.is_zero(value):
+                continue
+            if merged:
+                last_interval, last_value = merged[-1]
+                if last_value == value and last_interval.end == segment.begin:
+                    merged[-1] = (Interval(last_interval.begin, segment.end), value)
+                    continue
+            merged.append((segment, value))
+        return TemporalElement(self.semiring, self.domain, merged)
+
+    def is_coalesced(self) -> bool:
+        """True iff the element already is in K-coalesced normal form."""
+        return self == self.coalesce()
+
+    # -- point-wise semiring operations (evaluated interval-wise) ----------------------
+
+    def plus(self, other: "TemporalElement") -> "TemporalElement":
+        """Coalesced point-wise addition (the ``+`` of the period semiring)."""
+        self._check_compatible(other)
+        combined = list(self._entries) + list(other._entries)
+        return TemporalElement(self.semiring, self.domain, combined).coalesce()
+
+    def times(self, other: "TemporalElement") -> "TemporalElement":
+        """Coalesced point-wise multiplication (the ``*`` of the period semiring)."""
+        self._check_compatible(other)
+        segments = [
+            (segment, self.semiring.times(left, right))
+            for segment, left, right in self._aligned_segments(other)
+        ]
+        return TemporalElement(self.semiring, self.domain, segments).coalesce()
+
+    def monus(self, other: "TemporalElement") -> "TemporalElement":
+        """Coalesced point-wise monus (the difference of the period semiring)."""
+        self._check_compatible(other)
+        if not self.semiring.has_monus:
+            raise SemiringError(
+                f"semiring {self.semiring.name} has no monus; "
+                "difference queries are undefined for it"
+            )
+        segments = [
+            (segment, self.semiring.monus(left, right))
+            for segment, left, right in self._aligned_segments(other)
+        ]
+        return TemporalElement(self.semiring, self.domain, segments).coalesce()
+
+    def natural_leq(self, other: "TemporalElement") -> bool:
+        """Point-wise natural order, the natural order of ``K^T`` (Theorem 7.1)."""
+        self._check_compatible(other)
+        for _segment, left, right in self._aligned_segments(other):
+            if not self.semiring.natural_leq(left, right):
+                return False
+        return True
+
+    def scale(self, value: Any) -> "TemporalElement":
+        """Multiply every annotation by a constant K-value."""
+        if self.semiring.is_zero(value):
+            return TemporalElement.empty(self.semiring, self.domain)
+        return TemporalElement(
+            self.semiring,
+            self.domain,
+            [(interval, self.semiring.times(v, value)) for interval, v in self._entries],
+        ).coalesce()
+
+    def map_values(self, mapping, target: Semiring | None = None) -> "TemporalElement":
+        """Apply a function to every annotation (e.g. a semiring homomorphism)."""
+        semiring = target or self.semiring
+        return TemporalElement(
+            semiring,
+            self.domain,
+            [(interval, mapping(v)) for interval, v in self._entries],
+        ).coalesce()
+
+    # -- support -----------------------------------------------------------------------
+
+    def support(self) -> List[Interval]:
+        """Maximal intervals during which the annotation is non-zero.
+
+        Unlike :meth:`coalesce`, adjacent intervals with *different* non-zero
+        annotations are merged here: only coverage matters.
+        """
+        merged: List[Interval] = []
+        for interval in (i for i, _ in self.coalesce()._entries):
+            if merged and merged[-1].end == interval.begin:
+                merged[-1] = Interval(merged[-1].begin, interval.end)
+            else:
+                merged.append(interval)
+        return merged
+
+    def total_duration(self) -> int:
+        """Number of time points with a non-zero annotation."""
+        return sum(len(interval) for interval in self.support())
+
+    def _check_compatible(self, other: "TemporalElement") -> None:
+        if self.semiring != other.semiring:
+            raise SemiringError(
+                f"cannot combine temporal elements over {self.semiring.name} "
+                f"and {other.semiring.name}"
+            )
+        if self.domain != other.domain:
+            raise SemiringError(
+                f"cannot combine temporal elements over different time domains "
+                f"{self.domain} and {other.domain}"
+            )
+
+    # -- dunder plumbing ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalElement):
+            return NotImplemented
+        return (
+            self.semiring == other.semiring
+            and self.domain == other.domain
+            and self._entries == other._entries
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.semiring, self.domain, self._entries))
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{interval} -> {value!r}" for interval, value in self._entries)
+        return f"{{{body}}}"

@@ -1,0 +1,127 @@
+"""Unit tests for the scalar expression language."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    Attribute,
+    BooleanOp,
+    Comparison,
+    ExpressionError,
+    FunctionCall,
+    IsNull,
+    Literal,
+    Not,
+    and_,
+    attr,
+    col_eq,
+    lit,
+    or_,
+)
+
+ROW = {"a": 5, "b": 3, "s": "hello", "n": None}
+
+
+class TestAttributesAndLiterals:
+    def test_attribute_lookup(self):
+        assert attr("a").evaluate(ROW) == 5
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ExpressionError):
+            attr("missing").evaluate(ROW)
+
+    def test_literal(self):
+        assert lit(42).evaluate(ROW) == 42
+        assert lit("x").evaluate({}) == "x"
+
+    def test_referenced_attributes(self):
+        expression = and_(Comparison("=", attr("a"), attr("b")), Comparison(">", attr("a"), lit(1)))
+        assert set(expression.attributes()) == {"a", "b"}
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", False), ("<=", False), (">", True), (">=", True)],
+    )
+    def test_operators(self, op, expected):
+        assert Comparison(op, attr("a"), attr("b")).evaluate(ROW) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("<>", attr("a"), attr("b"))
+
+    def test_null_comparisons_are_false(self):
+        assert Comparison("=", attr("n"), lit(5)).evaluate(ROW) is False
+        assert Comparison("<", attr("n"), lit(5)).evaluate(ROW) is False
+
+    def test_col_eq_shortcut(self):
+        assert col_eq("a", "b") == Comparison("=", attr("a"), attr("b"))
+
+
+class TestBooleanConnectives:
+    def test_and_or(self):
+        true = Comparison(">", attr("a"), lit(1))
+        false = Comparison("<", attr("a"), lit(1))
+        assert and_(true, true).evaluate(ROW)
+        assert not and_(true, false).evaluate(ROW)
+        assert or_(false, true).evaluate(ROW)
+        assert not or_(false, false).evaluate(ROW)
+
+    def test_single_operand_collapse(self):
+        predicate = Comparison(">", attr("a"), lit(1))
+        assert and_(predicate) is predicate
+        assert or_(predicate) is predicate
+
+    def test_not(self):
+        assert Not(Comparison("<", attr("a"), lit(1))).evaluate(ROW)
+
+    def test_invalid_boolean_op(self):
+        with pytest.raises(ExpressionError):
+            BooleanOp("xor", (lit(True), lit(False)))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,expected", [("+", 8), ("-", 2), ("*", 15), ("/", 5 / 3)])
+    def test_operators(self, op, expected):
+        assert Arithmetic(op, attr("a"), attr("b")).evaluate(ROW) == expected
+
+    def test_null_propagates(self):
+        assert Arithmetic("+", attr("n"), lit(1)).evaluate(ROW) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("%", attr("a"), attr("b"))
+
+    def test_nested_expression(self):
+        revenue = Arithmetic("*", attr("a"), Arithmetic("-", lit(1), lit(0.1)))
+        assert revenue.evaluate(ROW) == pytest.approx(4.5)
+
+
+class TestFunctionsAndNullChecks:
+    def test_least_greatest(self):
+        assert FunctionCall("least", (attr("a"), attr("b"))).evaluate(ROW) == 3
+        assert FunctionCall("greatest", (attr("a"), attr("b"))).evaluate(ROW) == 5
+
+    def test_coalesce_and_abs(self):
+        assert FunctionCall("coalesce", (attr("n"), lit(7))).evaluate(ROW) == 7
+        assert FunctionCall("abs", (lit(-3),)).evaluate(ROW) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("nope", (lit(1),))
+
+    def test_is_null(self):
+        assert IsNull(attr("n")).evaluate(ROW)
+        assert not IsNull(attr("a")).evaluate(ROW)
+        assert IsNull(attr("a"), negated=True).evaluate(ROW)
+
+
+class TestStructuralEquality:
+    def test_equality_and_hash(self):
+        assert attr("a") == Attribute("a")
+        assert lit(1) != lit(2)
+        assert hash(col_eq("a", "b")) == hash(col_eq("a", "b"))
+
+    def test_repr_is_readable(self):
+        assert repr(Comparison("=", attr("a"), lit(1))) == "(a = 1)"

@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.experiments`` command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import ALL_EXPERIMENTS, main
+
+
+class TestCommandLine:
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "our-approach" in output
+
+    def test_figure5_with_custom_sizes(self, capsys):
+        assert main(["figure5", "--figure5-sizes", "200", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "200" in output and "400" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_experiment_registry_is_complete(self):
+        assert set(ALL_EXPERIMENTS) == {"table1", "figure5", "table2", "table3", "ablation"}

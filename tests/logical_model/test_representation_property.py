@@ -1,0 +1,65 @@
+"""Property-based tests: the logical model is a representation system.
+
+Theorem 6.6 / 7.3 of the paper: period K-relations with ``ENC`` and the
+timeslice operator form a representation system for RA^agg over snapshot
+K-relations.  We verify the three conditions of Definition 4.5 on random
+period databases and random queries:
+
+1. uniqueness -- evaluating over the logical model yields coalesced
+   (normal-form) annotations, and re-encoding the expanded snapshots
+   reproduces exactly the same relation;
+2. snapshot-reducibility -- slicing the logical-model result at any time
+   point equals evaluating the query over the sliced inputs;
+3. snapshot-preservation -- ``ENC`` of a snapshot relation has the same
+   timeslices as the original.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abstract_model import evaluate as evaluate_krelation
+from repro.abstract_model import evaluate_snapshot_query
+from repro.logical_model import PeriodKRelation, evaluate_period_query
+
+from tests.strategies import PROPERTY_DOMAIN, period_databases, queries
+
+
+@given(database=period_databases(), query=queries())
+def test_snapshot_reducibility(database, query):
+    """tau_T(Q(E)) == Q(tau_T(E)) for every T."""
+    result = evaluate_period_query(query, database)
+    for point in PROPERTY_DOMAIN.points():
+        sliced_inputs = {
+            name: database.relation(name).timeslice(point) for name in database.names()
+        }
+        expected = evaluate_krelation(query, sliced_inputs, database.base_semiring)
+        assert result.timeslice(point) == expected
+
+
+@given(database=period_databases(), query=queries())
+def test_result_annotations_are_coalesced(database, query):
+    result = evaluate_period_query(query, database)
+    for _row, element in result:
+        assert element.is_coalesced()
+        assert not element.is_empty()
+
+
+@given(database=period_databases(), query=queries())
+def test_matches_abstract_model_oracle(database, query):
+    """Q over the logical model equals ENC(Q over the abstract model)."""
+    logical = evaluate_period_query(query, database)
+    oracle = evaluate_snapshot_query(query, database.to_snapshot_database())
+    encoded_oracle = PeriodKRelation.encode(database.period_semiring, oracle)
+    assert logical == encoded_oracle
+
+
+@given(database=period_databases())
+def test_enc_is_snapshot_preserving_and_invertible(database):
+    """Conditions (1) and (3) of Definition 4.5 for the base relations."""
+    for name in database.names():
+        relation = database.relation(name)
+        snapshots = relation.to_snapshot()
+        re_encoded = PeriodKRelation.encode(database.period_semiring, snapshots)
+        assert re_encoded == relation
+        for point in PROPERTY_DOMAIN.points():
+            assert snapshots.snapshot(point) == relation.timeslice(point)

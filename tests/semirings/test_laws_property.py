@@ -1,0 +1,107 @@
+"""Property-based tests: the semiring laws hold for every shipped semiring.
+
+These are the invariants the whole framework rests on (Section 4.1 of the
+paper); the same laws are checked for the derived period semirings ``K^T``
+in ``tests/temporal/test_period_semiring_property.py``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semirings import SemiringHomomorphism
+from repro.semirings.standard import BOOLEAN, NATURAL
+
+from tests.strategies import MONUS_SEMIRING_VALUE_STRATEGIES, SEMIRING_VALUE_STRATEGIES
+
+CASES = [pytest.param(s, v, id=s.name) for s, v in SEMIRING_VALUE_STRATEGIES]
+MONUS_CASES = [pytest.param(s, v, id=s.name) for s, v in MONUS_SEMIRING_VALUE_STRATEGIES]
+
+
+@pytest.mark.parametrize("semiring,values", CASES)
+@given(data=st.data())
+def test_addition_commutative_associative(semiring, values, data):
+    a, b, c = data.draw(values), data.draw(values), data.draw(values)
+    assert semiring.plus(a, b) == semiring.plus(b, a)
+    assert semiring.plus(semiring.plus(a, b), c) == semiring.plus(a, semiring.plus(b, c))
+
+
+@pytest.mark.parametrize("semiring,values", CASES)
+@given(data=st.data())
+def test_multiplication_commutative_associative(semiring, values, data):
+    a, b, c = data.draw(values), data.draw(values), data.draw(values)
+    assert semiring.times(a, b) == semiring.times(b, a)
+    assert semiring.times(semiring.times(a, b), c) == semiring.times(
+        a, semiring.times(b, c)
+    )
+
+
+@pytest.mark.parametrize("semiring,values", CASES)
+@given(data=st.data())
+def test_identities(semiring, values, data):
+    a = data.draw(values)
+    assert semiring.plus(a, semiring.zero) == a
+    assert semiring.times(a, semiring.one) == a
+
+
+@pytest.mark.parametrize("semiring,values", CASES)
+@given(data=st.data())
+def test_zero_annihilates(semiring, values, data):
+    a = data.draw(values)
+    assert semiring.times(a, semiring.zero) == semiring.zero
+
+
+@pytest.mark.parametrize("semiring,values", CASES)
+@given(data=st.data())
+def test_distributivity(semiring, values, data):
+    a, b, c = data.draw(values), data.draw(values), data.draw(values)
+    assert semiring.times(a, semiring.plus(b, c)) == semiring.plus(
+        semiring.times(a, b), semiring.times(a, c)
+    )
+
+
+@pytest.mark.parametrize("semiring,values", MONUS_CASES)
+@given(data=st.data())
+def test_monus_is_least_solution(semiring, values, data):
+    """a - b is a value c with a <= b + c, and it is minimal among samples."""
+    a, b = data.draw(values), data.draw(values)
+    difference = semiring.monus(a, b)
+    assert semiring.natural_leq(a, semiring.plus(b, difference))
+    # minimality probe: any other sampled c satisfying the inequality is >= the monus
+    other = data.draw(values)
+    if semiring.natural_leq(a, semiring.plus(b, other)):
+        assert semiring.natural_leq(difference, other)
+
+
+@pytest.mark.parametrize("semiring,values", MONUS_CASES)
+@given(data=st.data())
+def test_monus_axioms(semiring, values, data):
+    """Standard m-semiring identities: a - a = 0 and 0 - a = 0."""
+    a = data.draw(values)
+    assert semiring.monus(a, a) == semiring.zero
+    assert semiring.monus(semiring.zero, a) == semiring.zero
+
+
+@pytest.mark.parametrize("semiring,values", MONUS_CASES)
+@given(data=st.data())
+def test_natural_order_is_partial_order(semiring, values, data):
+    a, b = data.draw(values), data.draw(values)
+    assert semiring.natural_leq(a, a)
+    if semiring.natural_leq(a, b) and semiring.natural_leq(b, a):
+        assert a == b
+
+
+@given(data=st.data())
+def test_support_homomorphism_n_to_b(data):
+    """The support map N -> B (non-zero to True) is a semiring homomorphism."""
+    homomorphism = SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 0, "support")
+    samples = [data.draw(st.integers(0, 5)) for _ in range(4)]
+    assert homomorphism.check_on(samples)
+
+
+@given(data=st.data())
+def test_non_homomorphism_detected(data):
+    """check_on rejects a mapping that does not preserve multiplication."""
+    broken = SemiringHomomorphism(NATURAL, NATURAL, lambda n: n + 1, "broken")
+    samples = [data.draw(st.integers(0, 5)) for _ in range(3)]
+    assert not broken.check_on(samples)

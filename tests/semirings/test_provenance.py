@@ -1,0 +1,118 @@
+"""Unit tests for the provenance semirings (why-provenance and N[X])."""
+
+import pytest
+
+from repro.semirings import (
+    NATURAL,
+    POLYNOMIAL,
+    WHY_PROVENANCE,
+    Polynomial,
+    SemiringError,
+)
+
+
+class TestWhyProvenance:
+    def test_identities(self):
+        assert WHY_PROVENANCE.zero == frozenset()
+        assert WHY_PROVENANCE.one == frozenset({frozenset()})
+
+    def test_tuple_id(self):
+        annotation = WHY_PROVENANCE.tuple_id("t1")
+        assert annotation == frozenset({frozenset({"t1"})})
+
+    def test_plus_is_union(self):
+        a = WHY_PROVENANCE.tuple_id("t1")
+        b = WHY_PROVENANCE.tuple_id("t2")
+        assert WHY_PROVENANCE.plus(a, b) == frozenset(
+            {frozenset({"t1"}), frozenset({"t2"})}
+        )
+
+    def test_times_combines_witnesses(self):
+        a = WHY_PROVENANCE.tuple_id("t1")
+        b = WHY_PROVENANCE.tuple_id("t2")
+        assert WHY_PROVENANCE.times(a, b) == frozenset({frozenset({"t1", "t2"})})
+
+    def test_times_with_zero(self):
+        a = WHY_PROVENANCE.tuple_id("t1")
+        assert WHY_PROVENANCE.times(a, WHY_PROVENANCE.zero) == WHY_PROVENANCE.zero
+
+    def test_membership(self):
+        assert WHY_PROVENANCE.is_member(WHY_PROVENANCE.one)
+        assert not WHY_PROVENANCE.is_member({frozenset()})
+
+
+class TestPolynomial:
+    def test_zero_and_one(self):
+        assert Polynomial.zero().is_zero()
+        assert not Polynomial.one().is_zero()
+        assert Polynomial.constant(0) == Polynomial.zero()
+
+    def test_addition_merges_coefficients(self):
+        x = Polynomial.variable("x")
+        assert (x + x) == Polynomial({(("x", 1),): 2})
+
+    def test_multiplication_adds_exponents(self):
+        x = Polynomial.variable("x")
+        y = Polynomial.variable("y")
+        assert (x * x) == Polynomial({(("x", 2),): 1})
+        product = x * y
+        assert product == Polynomial({(("x", 1), ("y", 1)): 1})
+
+    def test_distributivity_example(self):
+        x, y, z = (Polynomial.variable(v) for v in "xyz")
+        assert x * (y + z) == x * y + x * z
+
+    def test_normalisation_removes_zero_terms(self):
+        assert Polynomial({(("x", 1),): 0}) == Polynomial.zero()
+        assert Polynomial({(("x", 0),): 2}) == Polynomial.constant(2)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(SemiringError):
+            Polynomial({(("x", 1),): -1})
+
+    def test_variables(self):
+        poly = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.one()
+        assert poly.variables() == frozenset({"x", "y"})
+
+    def test_evaluate_specialises_to_naturals(self):
+        # 2*x*y + 3 evaluated at x=2, y=3 in N gives 2*2*3 + 3 = 15.
+        poly = (
+            Polynomial.constant(2)
+            * Polynomial.variable("x")
+            * Polynomial.variable("y")
+            + Polynomial.constant(3)
+        )
+        assert poly.evaluate(NATURAL, {"x": 2, "y": 3}) == 15
+
+    def test_evaluate_missing_assignment(self):
+        with pytest.raises(SemiringError):
+            Polynomial.variable("x").evaluate(NATURAL, {})
+
+    def test_repr_round_trips_structure(self):
+        poly = Polynomial.variable("x") * Polynomial.variable("x") + Polynomial.constant(2)
+        text = repr(poly)
+        assert "x^2" in text and "2" in text
+
+    def test_hashable(self):
+        assert len({Polynomial.variable("x"), Polynomial.variable("x")}) == 1
+
+
+class TestPolynomialSemiring:
+    def test_identities(self):
+        assert POLYNOMIAL.zero == Polynomial.zero()
+        assert POLYNOMIAL.one == Polynomial.one()
+
+    def test_operations_delegate(self):
+        x = POLYNOMIAL.variable("x")
+        assert POLYNOMIAL.plus(x, x) == Polynomial({(("x", 1),): 2})
+        assert POLYNOMIAL.times(x, x) == Polynomial({(("x", 2),): 1})
+
+    def test_is_zero(self):
+        assert POLYNOMIAL.is_zero(Polynomial.zero())
+        assert not POLYNOMIAL.is_zero(POLYNOMIAL.variable("x"))
+
+    def test_from_int(self):
+        assert POLYNOMIAL.from_int(3) == Polynomial.constant(3)
+
+    def test_no_monus(self):
+        assert not POLYNOMIAL.has_monus

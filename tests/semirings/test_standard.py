@@ -1,0 +1,150 @@
+"""Unit tests for the standard semirings (B, N, tropical, security)."""
+
+import pytest
+
+from repro.semirings import (
+    BOOLEAN,
+    NATURAL,
+    SECURITY,
+    TROPICAL,
+    NotNaturallyOrderedError,
+    SemiringError,
+)
+
+
+class TestBooleanSemiring:
+    def test_identities(self):
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+
+    def test_plus_is_or(self):
+        assert BOOLEAN.plus(True, False) is True
+        assert BOOLEAN.plus(False, False) is False
+
+    def test_times_is_and(self):
+        assert BOOLEAN.times(True, False) is False
+        assert BOOLEAN.times(True, True) is True
+
+    def test_monus_is_and_not(self):
+        assert BOOLEAN.monus(True, False) is True
+        assert BOOLEAN.monus(True, True) is False
+        assert BOOLEAN.monus(False, True) is False
+
+    def test_natural_order(self):
+        assert BOOLEAN.natural_leq(False, True)
+        assert not BOOLEAN.natural_leq(True, False)
+
+    def test_from_int(self):
+        assert BOOLEAN.from_int(0) is False
+        assert BOOLEAN.from_int(3) is True
+        with pytest.raises(SemiringError):
+            BOOLEAN.from_int(-1)
+
+    def test_membership(self):
+        assert BOOLEAN.is_member(True)
+        assert not BOOLEAN.is_member(1)
+
+    def test_has_monus(self):
+        assert BOOLEAN.has_monus
+
+
+class TestNaturalSemiring:
+    def test_identities(self):
+        assert NATURAL.zero == 0
+        assert NATURAL.one == 1
+
+    def test_arithmetic(self):
+        assert NATURAL.plus(2, 3) == 5
+        assert NATURAL.times(2, 3) == 6
+
+    def test_monus_truncates(self):
+        assert NATURAL.monus(5, 3) == 2
+        assert NATURAL.monus(3, 5) == 0
+
+    def test_natural_order(self):
+        assert NATURAL.natural_leq(2, 5)
+        assert not NATURAL.natural_leq(5, 2)
+
+    def test_sum_and_product(self):
+        assert NATURAL.sum([1, 2, 3]) == 6
+        assert NATURAL.product([2, 3, 4]) == 24
+        assert NATURAL.sum([]) == 0
+        assert NATURAL.product([]) == 1
+
+    def test_membership_excludes_booleans_and_negatives(self):
+        assert NATURAL.is_member(7)
+        assert not NATURAL.is_member(True)
+        assert not NATURAL.is_member(-1)
+
+    def test_pow(self):
+        assert NATURAL.pow(2, 3) == 8
+        assert NATURAL.pow(2, 0) == 1
+        with pytest.raises(SemiringError):
+            NATURAL.pow(2, -1)
+
+    def test_from_int_identity(self):
+        assert NATURAL.from_int(9) == 9
+
+
+class TestTropicalSemiring:
+    def test_identities(self):
+        assert TROPICAL.zero == float("inf")
+        assert TROPICAL.one == 0
+
+    def test_plus_is_min(self):
+        assert TROPICAL.plus(3, 5) == 3
+
+    def test_times_is_addition(self):
+        assert TROPICAL.times(3, 5) == 8
+
+    def test_zero_annihilates(self):
+        assert TROPICAL.times(TROPICAL.zero, 5) == TROPICAL.zero
+
+    def test_no_monus(self):
+        assert not TROPICAL.has_monus
+        with pytest.raises(NotNaturallyOrderedError):
+            TROPICAL.monus(3, 1)
+        with pytest.raises(NotNaturallyOrderedError):
+            TROPICAL.natural_leq(1, 2)
+
+
+class TestSecuritySemiring:
+    def test_identities(self):
+        assert SECURITY.zero == SECURITY.NO_ACCESS
+        assert SECURITY.one == SECURITY.PUBLIC
+
+    def test_plus_takes_least_restrictive(self):
+        assert SECURITY.plus(SECURITY.SECRET, SECURITY.PUBLIC) == SECURITY.PUBLIC
+
+    def test_times_takes_most_restrictive(self):
+        assert SECURITY.times(SECURITY.SECRET, SECURITY.PUBLIC) == SECURITY.SECRET
+
+    def test_natural_order_is_reversed(self):
+        assert SECURITY.natural_leq(SECURITY.SECRET, SECURITY.PUBLIC)
+        assert not SECURITY.natural_leq(SECURITY.PUBLIC, SECURITY.SECRET)
+
+    def test_monus(self):
+        # PUBLIC - SECRET: public data stays accessible.
+        assert SECURITY.monus(SECURITY.PUBLIC, SECURITY.SECRET) == SECURITY.PUBLIC
+        # SECRET - PUBLIC: already dominated, yields the zero (NO_ACCESS).
+        assert SECURITY.monus(SECURITY.SECRET, SECURITY.PUBLIC) == SECURITY.NO_ACCESS
+
+    def test_membership(self):
+        assert SECURITY.is_member(SECURITY.TOP_SECRET)
+        assert not SECURITY.is_member(17)
+
+
+class TestSemiringIdentityHelpers:
+    def test_equality_is_by_type(self):
+        from repro.semirings.standard import NaturalSemiring
+
+        assert NATURAL == NaturalSemiring()
+        assert NATURAL != BOOLEAN
+
+    def test_is_zero(self):
+        assert NATURAL.is_zero(0)
+        assert not NATURAL.is_zero(1)
+        assert BOOLEAN.is_zero(False)
+
+    def test_repr_contains_name(self):
+        assert "N" in repr(NATURAL)

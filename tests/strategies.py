@@ -1,0 +1,233 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate small but structurally rich instances: annotation
+values for each semiring, temporal K-elements with overlapping intervals,
+period relations, and random RA^agg query plans over a fixed two-relation
+schema.  Sizes are kept small because the oracle the properties compare
+against (per-snapshot evaluation) is linear in ``|T|`` per example.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import Comparison, attr, lit
+from repro.algebra.operators import (
+    AggregateSpec,
+    Aggregation,
+    Difference,
+    Distinct,
+    Join,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.logical_model.database import PeriodDatabase
+from repro.semirings.provenance import POLYNOMIAL, WHY_PROVENANCE, Polynomial
+from repro.semirings.standard import BOOLEAN, NATURAL, SECURITY, TROPICAL
+from repro.temporal.elements import TemporalElement
+from repro.temporal.intervals import Interval
+from repro.temporal.timedomain import TimeDomain
+
+#: The time domain used by all property tests (small so oracles stay fast).
+PROPERTY_DOMAIN = TimeDomain(0, 16)
+
+
+# -- semiring values -------------------------------------------------------------------
+
+
+def natural_values():
+    return st.integers(min_value=0, max_value=6)
+
+
+def boolean_values():
+    return st.booleans()
+
+
+def tropical_values():
+    return st.one_of(st.just(float("inf")), st.integers(min_value=0, max_value=20))
+
+
+def security_values():
+    return st.sampled_from(SECURITY.LEVELS)
+
+
+def why_values():
+    witness = st.frozensets(st.sampled_from(["r1", "r2", "s1", "s2"]), max_size=2)
+    return st.frozensets(witness, max_size=3)
+
+
+def polynomial_values():
+    variable = st.sampled_from(["x", "y", "z"])
+    monomial = st.lists(st.tuples(variable, st.integers(1, 2)), max_size=2).map(tuple)
+    return st.dictionaries(monomial, st.integers(1, 3), max_size=3).map(Polynomial)
+
+
+#: (semiring, value strategy) pairs covering every shipped semiring.
+SEMIRING_VALUE_STRATEGIES = [
+    (NATURAL, natural_values()),
+    (BOOLEAN, boolean_values()),
+    (TROPICAL, tropical_values()),
+    (SECURITY, security_values()),
+    (WHY_PROVENANCE, why_values()),
+    (POLYNOMIAL, polynomial_values()),
+]
+
+#: Semirings with a well-defined monus (and their value strategies).
+MONUS_SEMIRING_VALUE_STRATEGIES = [
+    (NATURAL, natural_values()),
+    (BOOLEAN, boolean_values()),
+    (SECURITY, security_values()),
+]
+
+
+# -- intervals and temporal elements -----------------------------------------------------
+
+
+def intervals(domain: TimeDomain = PROPERTY_DOMAIN):
+    def build(begin_and_length):
+        begin, length = begin_and_length
+        end = min(domain.max_point, begin + length)
+        return Interval(begin, max(end, begin + 1))
+
+    return st.tuples(
+        st.integers(domain.min_point, domain.max_point - 1),
+        st.integers(1, len(domain)),
+    ).map(build)
+
+
+def temporal_elements(semiring=NATURAL, values=None, domain: TimeDomain = PROPERTY_DOMAIN):
+    """Temporal K-elements with up to four (possibly overlapping) intervals."""
+    values = values if values is not None else natural_values()
+    entries = st.lists(st.tuples(intervals(domain), values), max_size=4)
+    return entries.map(lambda items: TemporalElement(semiring, domain, items))
+
+
+# -- period databases and random queries ------------------------------------------------------
+
+
+def period_facts(columns, max_rows: int = 6, domain: TimeDomain = PROPERTY_DOMAIN):
+    """Facts (row, begin, end, multiplicity) for a relation with the given columns."""
+    value = st.sampled_from(["a", "b", "c"])
+    number = st.integers(0, 3)
+    row = st.tuples(*([value] * (len(columns) - 1) + [number]))
+
+    def build(parts):
+        row_values, begin, length, multiplicity = parts
+        end = min(domain.max_point, begin + length)
+        return (row_values, begin, max(end, begin + 1), multiplicity)
+
+    fact = st.tuples(
+        row,
+        st.integers(domain.min_point, domain.max_point - 1),
+        st.integers(1, len(domain)),
+        st.integers(1, 2),
+    ).map(build)
+    return st.lists(fact, max_size=max_rows)
+
+
+#: Fixed schemas used by the random-query property tests.
+SCHEMA_R = ("r_key", "r_cat", "r_val")
+SCHEMA_S = ("s_key", "s_cat", "s_val")
+
+
+def period_databases(domain: TimeDomain = PROPERTY_DOMAIN):
+    """A two-relation period N-database with schemas SCHEMA_R / SCHEMA_S."""
+
+    def build(facts_pair):
+        facts_r, facts_s = facts_pair
+        database = PeriodDatabase(NATURAL, domain)
+        database.create_relation("R", SCHEMA_R, facts_r)
+        database.create_relation("S", SCHEMA_S, facts_s)
+        return database
+
+    return st.tuples(period_facts(SCHEMA_R), period_facts(SCHEMA_S)).map(build)
+
+
+def _leaf_queries():
+    return st.sampled_from([RelationAccess("R"), RelationAccess("S")])
+
+
+def _selection(child):
+    predicate = st.sampled_from(
+        [
+            Comparison("=", attr("r_cat"), lit("a")),
+            Comparison("!=", attr("r_cat"), lit("b")),
+            Comparison(">", attr("r_val"), lit(1)),
+            Comparison("<=", attr("r_val"), lit(2)),
+        ]
+    )
+    return st.builds(Selection, st.just(child), predicate)
+
+
+def queries(max_depth: int = 3):
+    """Random RA^agg plans over the R/S schema.
+
+    The grammar keeps schemas consistent: projections normalise both inputs
+    to the (category, value) shape before set operations, joins always join
+    R with S on the key attributes, and aggregations group by the category.
+    """
+
+    def project_r(child):
+        return Projection(
+            child, ((attr("r_cat"), "cat"), (attr("r_val"), "val"))
+        )
+
+    def project_s(child):
+        return Projection(
+            child, ((attr("s_cat"), "cat"), (attr("s_val"), "val"))
+        )
+
+    normalised_r = _selection(RelationAccess("R")).map(project_r) | st.just(
+        project_r(RelationAccess("R"))
+    )
+    normalised_s = st.just(project_s(RelationAccess("S")))
+
+    binary = st.one_of(
+        st.builds(Union, normalised_r, normalised_s),
+        st.builds(Difference, normalised_r, normalised_s),
+        st.builds(Difference, normalised_s, normalised_r),
+    )
+
+    join = st.just(
+        Projection(
+            Join(
+                RelationAccess("R"),
+                RelationAccess("S"),
+                Comparison("=", attr("r_key"), attr("s_key")),
+            ),
+            ((attr("r_cat"), "cat"), (attr("s_val"), "val")),
+        )
+    )
+
+    aggregation = st.sampled_from(
+        [
+            Aggregation(
+                project_r(RelationAccess("R")),
+                ("cat",),
+                (
+                    AggregateSpec("count", None, "cnt"),
+                    AggregateSpec("sum", attr("val"), "total"),
+                ),
+            ),
+            Aggregation(
+                project_r(RelationAccess("R")),
+                (),
+                (
+                    AggregateSpec("count", None, "cnt"),
+                    AggregateSpec("max", attr("val"), "highest"),
+                ),
+            ),
+            Aggregation(
+                Union(project_r(RelationAccess("R")), project_s(RelationAccess("S"))),
+                (),
+                (AggregateSpec("avg", attr("val"), "mean"),),
+            ),
+        ]
+    )
+
+    distinct = normalised_r.map(Distinct)
+
+    return st.one_of(normalised_r, normalised_s, binary, join, aggregation, distinct)

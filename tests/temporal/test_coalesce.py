@@ -1,0 +1,100 @@
+"""Unit tests for K-coalescing (Definition 5.3 and Example 5.3 of the paper)."""
+
+from repro.semirings import BOOLEAN, NATURAL
+from repro.temporal import (
+    Interval,
+    TemporalElement,
+    TimeDomain,
+    annotation_changepoints,
+    changepoint_intervals,
+    coalesce_annotations,
+    k_coalesce,
+)
+
+DOMAIN = TimeDomain(0, 14)
+
+
+class TestPaperExample53:
+    """Figure 3 / Example 5.3: the salary relation's 30k tuple."""
+
+    def test_n_coalesce(self):
+        t30k = TemporalElement(
+            NATURAL, DOMAIN, [(Interval(3, 10), 1), (Interval(3, 13), 1)]
+        )
+        assert k_coalesce(t30k).mapping == {Interval(3, 10): 2, Interval(10, 13): 1}
+
+    def test_b_coalesce(self):
+        t30k_set = TemporalElement(
+            BOOLEAN, DOMAIN, [(Interval(3, 10), True), (Interval(3, 13), True)]
+        )
+        assert k_coalesce(t30k_set).mapping == {Interval(3, 13): True}
+
+    def test_changepoints_of_30k(self):
+        t30k = TemporalElement(
+            NATURAL, DOMAIN, [(Interval(3, 10), 1), (Interval(3, 13), 1)]
+        )
+        assert annotation_changepoints(t30k) == [0, 3, 10, 13]
+
+
+class TestCoalescedShape:
+    def test_no_overlaps_in_output(self):
+        element = TemporalElement(
+            NATURAL, DOMAIN, [(Interval(0, 8), 1), (Interval(4, 12), 1)]
+        )
+        coalesced = element.coalesce()
+        intervals = coalesced.intervals()
+        for i, a in enumerate(intervals):
+            for b in intervals[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_adjacent_outputs_have_different_annotations(self):
+        element = TemporalElement(
+            NATURAL, DOMAIN, [(Interval(0, 5), 2), (Interval(5, 10), 2), (Interval(10, 12), 3)]
+        )
+        coalesced = element.coalesce()
+        assert coalesced.mapping == {Interval(0, 10): 2, Interval(10, 12): 3}
+
+    def test_gaps_are_preserved(self):
+        element = TemporalElement(
+            NATURAL, DOMAIN, [(Interval(0, 3), 1), (Interval(6, 9), 1)]
+        )
+        assert element.coalesce().mapping == {Interval(0, 3): 1, Interval(6, 9): 1}
+
+    def test_is_coalesced_predicate(self):
+        raw = TemporalElement(NATURAL, DOMAIN, [(Interval(0, 5), 1), (Interval(5, 9), 1)])
+        assert not raw.is_coalesced()
+        assert raw.coalesce().is_coalesced()
+
+    def test_empty_element_is_coalesced(self):
+        assert TemporalElement.empty(NATURAL, DOMAIN).is_coalesced()
+
+
+class TestChangepointIntervals:
+    def test_cover_whole_domain(self):
+        element = TemporalElement(NATURAL, DOMAIN, {Interval(3, 9): 2})
+        cpi = changepoint_intervals(element)
+        assert cpi == [Interval(0, 3), Interval(3, 9), Interval(9, 14)]
+
+    def test_empty_element(self):
+        assert changepoint_intervals(TemporalElement.empty(NATURAL, DOMAIN)) == [
+            Interval(0, 14)
+        ]
+
+
+class TestCoalesceAnnotations:
+    def test_drops_empty_histories(self):
+        annotations = {
+            ("keep",): TemporalElement(NATURAL, DOMAIN, {Interval(0, 5): 1}),
+            ("drop",): TemporalElement(NATURAL, DOMAIN, {}),
+        }
+        coalesced = coalesce_annotations(annotations)
+        assert set(coalesced) == {("keep",)}
+
+    def test_coalesces_every_value(self):
+        annotations = {
+            ("t",): TemporalElement(
+                NATURAL, DOMAIN, [(Interval(0, 5), 1), (Interval(5, 9), 1)]
+            )
+        }
+        coalesced = coalesce_annotations(annotations)
+        assert coalesced[("t",)].mapping == {Interval(0, 9): 1}

@@ -1,0 +1,113 @@
+"""Property-based tests: Lemma 5.1 and Lemma 6.1 of the paper.
+
+Lemma 5.1 states that K-coalescing is idempotent, preserves
+snapshot-equivalence, and is a *unique* normal form (two temporal elements
+are snapshot-equivalent iff their coalesced forms are equal).  Lemma 6.1
+states that coalescing can be pushed redundantly into the point-wise
+addition and multiplication.  Both are checked over randomly generated
+temporal elements for N and B annotations.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semirings.standard import BOOLEAN, NATURAL
+
+from tests.strategies import (
+    PROPERTY_DOMAIN,
+    boolean_values,
+    natural_values,
+    temporal_elements,
+)
+
+ELEMENT_CASES = [
+    pytest.param(NATURAL, natural_values(), id="N"),
+    pytest.param(BOOLEAN, boolean_values(), id="B"),
+]
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_coalesce_idempotent(semiring, values, data):
+    element = data.draw(temporal_elements(semiring, values))
+    coalesced = element.coalesce()
+    assert coalesced.coalesce() == coalesced
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_coalesce_preserves_equivalence(semiring, values, data):
+    element = data.draw(temporal_elements(semiring, values))
+    assert element.snapshot_equivalent(element.coalesce())
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_coalesce_is_unique_normal_form(semiring, values, data):
+    """T1 ~ T2 iff CK(T1) = CK(T2) (both directions)."""
+    t1 = data.draw(temporal_elements(semiring, values))
+    t2 = data.draw(temporal_elements(semiring, values))
+    assert t1.snapshot_equivalent(t2) == (t1.coalesce() == t2.coalesce())
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_coalesced_timeslices_unchanged(semiring, values, data):
+    element = data.draw(temporal_elements(semiring, values))
+    coalesced = element.coalesce()
+    for point in PROPERTY_DOMAIN.points():
+        assert element.at(point) == coalesced.at(point)
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_coalesced_output_shape(semiring, values, data):
+    """No overlaps, no zero annotations, no adjacent equal annotations."""
+    coalesced = data.draw(temporal_elements(semiring, values)).coalesce()
+    entries = list(coalesced.items())
+    for _interval, value in entries:
+        assert not semiring.is_zero(value)
+    for (i1, v1), (i2, v2) in zip(entries, entries[1:]):
+        assert i1.end <= i2.begin
+        if i1.end == i2.begin:
+            assert v1 != v2
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_lemma_6_1_coalesce_pushes_into_plus(semiring, values, data):
+    k1 = data.draw(temporal_elements(semiring, values))
+    k2 = data.draw(temporal_elements(semiring, values))
+    direct = k1.plus(k2)
+    pushed = k1.coalesce().plus(k2)
+    assert direct == pushed
+
+
+@pytest.mark.parametrize("semiring,values", ELEMENT_CASES)
+@given(data=st.data())
+def test_lemma_6_1_coalesce_pushes_into_times(semiring, values, data):
+    k1 = data.draw(temporal_elements(semiring, values))
+    k2 = data.draw(temporal_elements(semiring, values))
+    assert k1.times(k2) == k1.coalesce().times(k2)
+
+
+@given(data=st.data())
+def test_lemma_6_1_extension_coalesce_pushes_into_monus(data):
+    """The monus analogue of Lemma 6.1, proven in the technical report."""
+    k1 = data.draw(temporal_elements(NATURAL, natural_values()))
+    k2 = data.draw(temporal_elements(NATURAL, natural_values()))
+    assert k1.monus(k2) == k1.coalesce().monus(k2)
+
+
+@given(data=st.data())
+def test_changepoints_match_timeslice_changes(data):
+    element = data.draw(temporal_elements(NATURAL, natural_values()))
+    changepoints = set(element.changepoints())
+    domain = PROPERTY_DOMAIN
+    for point in domain.points():
+        if point == domain.min_point:
+            assert point in changepoints
+            continue
+        changed = element.at(point) != element.at(point - 1)
+        assert (point in changepoints) == changed

@@ -1,0 +1,122 @@
+"""Integration tests for the package-level public API and the README quickstart."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import (
+    Database,
+    KRelation,
+    PeriodDatabase,
+    PeriodKRelation,
+    PeriodSemiring,
+    SnapshotMiddleware,
+    Table,
+    TemporalElement,
+    TimeDomain,
+)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.semirings",
+            "repro.temporal",
+            "repro.abstract_model",
+            "repro.logical_model",
+            "repro.algebra",
+            "repro.engine",
+            "repro.rewriter",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_exports_resolve(self, module):
+        imported = importlib.import_module(module)
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        from repro.algebra import (
+            AggregateSpec,
+            Aggregation,
+            Comparison,
+            RelationAccess,
+            Selection,
+            attr,
+            lit,
+        )
+
+        middleware = SnapshotMiddleware(TimeDomain(0, 24))
+        middleware.load_table(
+            "works",
+            ["name", "skill"],
+            [
+                ("Ann", "SP", 3, 10),
+                ("Joe", "NS", 8, 16),
+                ("Sam", "SP", 8, 16),
+                ("Ann", "SP", 18, 20),
+            ],
+        )
+        onduty = Aggregation(
+            Selection(RelationAccess("works"), Comparison("=", attr("skill"), lit("SP"))),
+            (),
+            (AggregateSpec("count", None, "cnt"),),
+        )
+        table = middleware.execute(onduty)
+        assert (0, 0, 3) in table.rows
+        assert (2, 8, 10) in table.rows
+        assert "cnt" in table.pretty()
+
+
+class TestCrossLayerIntegration:
+    def test_same_query_through_all_three_levels(self):
+        """Abstract, logical and implementation level agree on one query."""
+        from repro.abstract_model import evaluate_snapshot_query
+        from repro.algebra import Projection, RelationAccess
+        from repro.logical_model import evaluate_period_query
+        from repro.semirings import NATURAL
+
+        domain = TimeDomain(0, 12)
+        facts = [(("a", 1), 0, 6, 1), (("a", 1), 4, 9, 1), (("b", 2), 2, 5, 1)]
+
+        # logical model
+        logical_db = PeriodDatabase(NATURAL, domain)
+        logical_db.create_relation("r", ("cat", "val"), facts)
+        query = Projection.of_attributes(RelationAccess("r"), "cat")
+        logical = evaluate_period_query(query, logical_db)
+
+        # abstract model (oracle)
+        oracle = evaluate_snapshot_query(query, logical_db.to_snapshot_database())
+        assert PeriodKRelation.encode(logical_db.period_semiring, oracle) == logical
+
+        # implementation level
+        middleware = SnapshotMiddleware(domain)
+        middleware.load_period_relation("r", logical_db.relation("r"))
+        assert middleware.execute_decoded(query) == logical
+
+    def test_engine_objects_usable_directly(self):
+        database = Database()
+        table = Table("t", ("x", "t_begin", "t_end"), [(1, 0, 5)])
+        database.register(table, period=("t_begin", "t_end"))
+        assert database.table("t").rows == [(1, 0, 5)]
+
+    def test_temporal_element_round_trip_through_krelation(self):
+        domain = TimeDomain(0, 10)
+        semiring = PeriodSemiring(repro.NATURAL, domain)
+        element = semiring.element({})
+        assert isinstance(element, TemporalElement)
+        relation = KRelation(repro.NATURAL, ("x",), {(1,): 2})
+        assert relation.annotation((1,)) == 2
