@@ -1,0 +1,131 @@
+"""Record the perf trajectory of the repo: time the paper's headline workloads.
+
+Runs the two workloads that the paper's evaluation (and our acceptance
+criteria) track across PRs and appends the timings to a JSON ledger:
+
+* **Figure 5** -- multiset coalescing over a materialised selection result
+  (``SELECT *`` under snapshot semantics), per input size;
+* **Table 3 (Employee)** -- the ten Employee snapshot queries through the
+  rewriting middleware (the paper's ``*-Seq`` column).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py --label seed
+    PYTHONPATH=src python benchmarks/record.py --label pr1
+
+Each invocation merges its results under ``--label`` into ``--output``
+(default ``BENCH_pr1.json`` at the repo root) and, when at least two labels
+are present, reports the speedup of the newest label over the oldest so the
+perf trajectory is visible from the ledger alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.datasets.employees import EmployeesConfig, generate_employees
+from repro.datasets.workloads import EMPLOYEE_WORKLOAD
+from repro.experiments.figure5 import run_figure5
+from repro.rewriter.middleware import SnapshotMiddleware
+
+#: Default scales; chosen to match benchmarks/conftest.py defaults.
+FIGURE5_SIZES: Sequence[int] = (1_000, 5_000, 20_000)
+FIGURE5_MONTHS = 120
+EMPLOYEE_SCALE = 0.1
+
+
+def time_figure5(sizes: Sequence[int], repetitions: int) -> List[Dict[str, object]]:
+    results = run_figure5(sizes=sizes, months=FIGURE5_MONTHS, repetitions=repetitions)
+    return [
+        {
+            "input_rows": row["input_rows"],
+            "output_rows": row["output_rows"],
+            "seconds": row["seconds"],
+        }
+        for row in results
+    ]
+
+
+def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
+    config = EmployeesConfig(scale=scale)
+    database = generate_employees(config)
+    middleware = SnapshotMiddleware(config.domain, database=database)
+    per_query: Dict[str, float] = {}
+    for name, factory in EMPLOYEE_WORKLOAD.items():
+        query = factory()
+        best = None
+        for _ in range(max(1, repetitions)):
+            started = time.perf_counter()
+            middleware.execute(query)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        per_query[name] = best
+    return {
+        "scale": scale,
+        "per_query_seconds": per_query,
+        "total_seconds": sum(per_query.values()),
+    }
+
+
+def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
+    """Speedup of the newest label over the oldest (by recording order)."""
+    labels = [k for k in ledger if k != "speedup_newest_vs_oldest"]
+    if len(labels) < 2:
+        return {}
+    base, new = ledger[labels[0]], ledger[labels[-1]]
+    summary: Dict[str, object] = {"baseline": labels[0], "current": labels[-1]}
+    base_f5 = {r["input_rows"]: r["seconds"] for r in base["figure5"]}
+    summary["figure5"] = {
+        str(r["input_rows"]): round(base_f5[r["input_rows"]] / r["seconds"], 2)
+        for r in new["figure5"]
+        if r["input_rows"] in base_f5 and r["seconds"] > 0
+    }
+    base_total = base["table3_employee"]["total_seconds"]
+    new_total = new["table3_employee"]["total_seconds"]
+    if new_total > 0:
+        summary["table3_employee_total"] = round(base_total / new_total, 2)
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr1.json"),
+    )
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(FIGURE5_SIZES)
+    )
+    parser.add_argument("--employee-scale", type=float, default=EMPLOYEE_SCALE)
+    args = parser.parse_args()
+
+    entry = {
+        "recorded_platform": platform.python_version(),
+        "figure5": time_figure5(args.sizes, args.repetitions),
+        "table3_employee": time_table3_employee(
+            args.employee_scale, args.repetitions
+        ),
+    }
+
+    output = Path(args.output)
+    ledger: Dict[str, Dict] = {}
+    if output.exists():
+        ledger = json.loads(output.read_text())
+    ledger.pop("speedup_newest_vs_oldest", None)
+    ledger[args.label] = entry
+    speedup = _speedups(ledger)
+    if speedup:
+        ledger["speedup_newest_vs_oldest"] = speedup
+    output.write_text(json.dumps(ledger, indent=2) + "\n")
+    print(json.dumps(ledger, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 from ..semirings.base import Semiring, SemiringError
 from ..semirings.standard import BOOLEAN, NATURAL
 
-__all__ = ["KRelation", "aggregate_rows"]
+__all__ = ["KRelation", "aggregate_rows", "aggregate_values"]
 
 Row = Tuple[Any, ...]
 
@@ -285,6 +285,16 @@ def aggregate_rows(
         value = argument.evaluate(row)
         if value is not None:
             values.append((value, weight))
+    return aggregate_values(func, values)
+
+
+def aggregate_values(func: str, values: List[Tuple[Any, int]]) -> Any:
+    """``sum``/``avg``/``min``/``max`` over weighted non-NULL argument values.
+
+    The shared dispatch behind :func:`aggregate_rows` and the engine's
+    compiled aggregation path (``count`` stays with the callers, whose
+    NULL-vs-row semantics differ).  An empty input yields ``None``.
+    """
     if not values:
         return None
     if func == "sum":

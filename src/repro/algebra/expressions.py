@@ -1,13 +1,25 @@
 """Scalar expression language used in selections, projections and joins.
 
-Expressions are evaluated against a *row*: a mapping from attribute name to
-value.  The language is deliberately small -- attribute references, literals,
+Expressions support two evaluation modes:
+
+* **interpreted** -- :meth:`Expression.evaluate` walks the AST against a
+  *row dictionary* (attribute name -> value).  This is the reference
+  semantics, kept for tests and ad-hoc callers.
+* **compiled** -- :meth:`Expression.compile` resolves every attribute
+  reference to a positional index *once* against a schema and returns a
+  nested closure over raw row *tuples*.  Physical operators compile each
+  expression once per plan node and then evaluate millions of rows without
+  materialising a dictionary per row; this is the engine's hot path.
+
+The language is deliberately small -- attribute references, literals,
 comparisons, boolean connectives, arithmetic and a couple of SQL-ish helpers
 (``least``/``greatest``, ``IS NULL``) -- but it is everything the paper's
 rewriting rules (Fig. 4) and the evaluation workloads need.
 
 Every expression node is immutable and hashable so plans can be compared and
-cached.  ``None`` models SQL ``NULL`` with the usual three-valued flavour
+cached; structural hashes are computed once per node and memoised (deep
+plans hash in amortised O(1) per node instead of re-stringifying the whole
+subtree).  ``None`` models SQL ``NULL`` with the usual three-valued flavour
 simplified to Python semantics: comparisons involving ``None`` evaluate to
 ``False`` rather than ``UNKNOWN``, which is indistinguishable for the
 workloads used here (no ``NOT`` over null comparisons).
@@ -16,7 +28,7 @@ workloads used here (no ``NOT`` over null comparisons).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Tuple
+from typing import Any, Callable, Mapping, Sequence, Tuple
 
 __all__ = [
     "Expression",
@@ -33,7 +45,16 @@ __all__ = [
     "and_",
     "or_",
     "col_eq",
+    "compile_predicate",
 ]
+
+#: A compiled expression: evaluates one raw row tuple to a value.
+CompiledExpression = Callable[[Tuple[Any, ...]], Any]
+
+#: Key under which the memoised structural hash is stashed on the instance.
+#: Excluded from structural equality, and invisible to the dataclass-generated
+#: ``__eq__`` of the node classes (which compares declared fields only).
+_HASH_CACHE = "_structural_hash_cache"
 
 
 class ExpressionError(Exception):
@@ -46,16 +67,40 @@ class Expression:
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         raise NotImplementedError
 
+    def compile(self, schema: Sequence[str]) -> CompiledExpression:
+        """Compile against a positional schema into a closure over row tuples.
+
+        Attribute names are resolved to tuple indexes exactly once, here;
+        unknown attributes raise :class:`ExpressionError` at compile time
+        rather than per row.  The returned closure implements the same
+        semantics as :meth:`evaluate` on ``dict(zip(schema, row))``.
+        """
+        index = {name: position for position, name in enumerate(schema)}
+        return self._compile(index)
+
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        raise NotImplementedError
+
     def attributes(self) -> Tuple[str, ...]:
         """Attribute names referenced by the expression (for schema checks)."""
         return ()
 
+    def _state(self) -> Tuple[Tuple[str, Any], ...]:
+        """The structural fields of the node (hash cache excluded)."""
+        return tuple(
+            item for item in sorted(self.__dict__.items()) if item[0] != _HASH_CACHE
+        )
+
     # Small fluent helpers so tests and workloads read naturally.
     def __eq__(self, other: object) -> bool:  # structural equality
-        return type(self) is type(other) and self.__dict__ == other.__dict__
+        return type(self) is type(other) and self._state() == other._state()
 
     def __hash__(self) -> int:
-        return hash((type(self), tuple(sorted(self.__dict__.items(), key=str))))
+        cached = self.__dict__.get(_HASH_CACHE)
+        if cached is None:
+            cached = hash((type(self).__name__, self._state()))
+            object.__setattr__(self, _HASH_CACHE, cached)
+        return cached
 
 
 @dataclass(frozen=True, eq=True)
@@ -68,6 +113,15 @@ class Attribute(Expression):
         if self.name not in row:
             raise ExpressionError(f"unknown attribute {self.name!r} in row {list(row)}")
         return row[self.name]
+
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        try:
+            position = index[self.name]
+        except KeyError:
+            raise ExpressionError(
+                f"unknown attribute {self.name!r} in schema {list(index)}"
+            ) from None
+        return lambda row: row[position]
 
     def attributes(self) -> Tuple[str, ...]:
         return (self.name,)
@@ -84,6 +138,10 @@ class Literal(Expression):
 
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         return self.value
+
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        value = self.value
+        return lambda row: value
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -118,6 +176,32 @@ class Comparison(Expression):
             return False
         return _COMPARATORS[self.op](left, right)
 
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        operator = _COMPARATORS[self.op]
+        # Fast path for the shape that dominates selections: attribute vs
+        # literal, with the NULL checks resolved at compile time.
+        if isinstance(self.left, Attribute) and isinstance(self.right, Literal):
+            if self.left.name not in index:
+                self.left._compile(index)  # raises the standard unknown-attribute error
+            position = index[self.left.name]
+            constant = self.right.value
+            if constant is None:
+                return lambda row: False
+            return lambda row: row[position] is not None and operator(
+                row[position], constant
+            )
+        left_fn = self.left._compile(index)
+        right_fn = self.right._compile(index)
+
+        def compare(row: Tuple[Any, ...]) -> bool:
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return False
+            return operator(left, right)
+
+        return compare
+
     def attributes(self) -> Tuple[str, ...]:
         return self.left.attributes() + self.right.attributes()
 
@@ -140,6 +224,17 @@ class BooleanOp(Expression):
         values = (bool(operand.evaluate(row)) for operand in self.operands)
         return all(values) if self.op == "and" else any(values)
 
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        compiled = tuple(operand._compile(index) for operand in self.operands)
+        if len(compiled) == 2:  # the common shape; avoids a generator per row
+            first, second = compiled
+            if self.op == "and":
+                return lambda row: bool(first(row)) and bool(second(row))
+            return lambda row: bool(first(row)) or bool(second(row))
+        if self.op == "and":
+            return lambda row: all(operand(row) for operand in compiled)
+        return lambda row: any(operand(row) for operand in compiled)
+
     def attributes(self) -> Tuple[str, ...]:
         return tuple(a for operand in self.operands for a in operand.attributes())
 
@@ -156,6 +251,10 @@ class Not(Expression):
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return not bool(self.operand.evaluate(row))
+
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        operand = self.operand._compile(index)
+        return lambda row: not operand(row)
 
     def attributes(self) -> Tuple[str, ...]:
         return self.operand.attributes()
@@ -191,6 +290,20 @@ class Arithmetic(Expression):
             return None
         return _ARITHMETIC[self.op](left, right)
 
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        operator = _ARITHMETIC[self.op]
+        left_fn = self.left._compile(index)
+        right_fn = self.right._compile(index)
+
+        def apply(row: Tuple[Any, ...]) -> Any:
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            return operator(left, right)
+
+        return apply
+
     def attributes(self) -> Tuple[str, ...]:
         return self.left.attributes() + self.right.attributes()
 
@@ -220,6 +333,33 @@ class FunctionCall(Expression):
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         return _FUNCTIONS[self.name](*(arg.evaluate(row) for arg in self.args))
 
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        function = _FUNCTIONS[self.name]
+        compiled = tuple(arg._compile(index) for arg in self.args)
+        if self.name in ("least", "greatest") and len(compiled) == 2:
+            # The dominant shape on the hot path: the snapshot rewrite wraps
+            # every join's period attributes in two-argument least/greatest.
+            pick = min if self.name == "least" else max
+            first, second = compiled
+
+            def pick_two(row: Tuple[Any, ...]) -> Any:
+                left = first(row)
+                right = second(row)
+                if left is None or right is None:
+                    # Falls back to the interpreter's NULL handling (and its
+                    # error when both arguments are NULL).
+                    return pick(v for v in (left, right) if v is not None)
+                return pick(left, right)
+
+            return pick_two
+        if len(compiled) == 1:
+            (only,) = compiled
+            return lambda row: function(only(row))
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda row: function(first(row), second(row))
+        return lambda row: function(*(arg(row) for arg in compiled))
+
     def attributes(self) -> Tuple[str, ...]:
         return tuple(a for arg in self.args for a in arg.attributes())
 
@@ -237,6 +377,12 @@ class IsNull(Expression):
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         is_null = self.operand.evaluate(row) is None
         return not is_null if self.negated else is_null
+
+    def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
+        operand = self.operand._compile(index)
+        if self.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
 
     def attributes(self) -> Tuple[str, ...]:
         return self.operand.attributes()
@@ -276,3 +422,30 @@ def or_(*operands: Expression) -> Expression:
 def col_eq(left: str, right: str) -> Comparison:
     """Equality comparison between two attributes (common join predicate)."""
     return Comparison("=", Attribute(left), Attribute(right))
+
+
+def compile_predicate(
+    predicate: Expression | None, schema: Sequence[str]
+) -> CompiledExpression:
+    """Compile a filter predicate; ``None`` compiles to "keep every row"."""
+    if predicate is None:
+        return lambda row: True
+    return predicate.compile(schema)
+
+
+# The node classes are frozen dataclasses with generated (field-based)
+# ``__eq__``; route their ``__hash__`` through the memoising base-class
+# implementation so deep plans do not recompute subtree hashes on every
+# lookup.
+for _node_class in (
+    Attribute,
+    Literal,
+    Comparison,
+    BooleanOp,
+    Not,
+    Arithmetic,
+    FunctionCall,
+    IsNull,
+):
+    _node_class.__hash__ = Expression.__hash__  # type: ignore[assignment]
+del _node_class

@@ -16,6 +16,12 @@ Physical choices:
   nested-loop join when no equality conjunct exists;
 * aggregation is hash aggregation;
 * ``EXCEPT ALL`` is evaluated with multiset counters.
+
+Every scalar expression on a hot path (selection predicates, projection
+columns, join residuals, aggregate arguments) is compiled once per plan
+node via :meth:`repro.algebra.expressions.Expression.compile` into a
+closure over raw row tuples; no per-row dictionaries are materialised
+anywhere in the executor.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..abstract_model.krelation import aggregate_rows
+from ..abstract_model.krelation import aggregate_values
 from ..algebra.expressions import Attribute, BooleanOp, Comparison, Expression
 from ..algebra.operators import (
     Aggregation,
@@ -41,7 +47,7 @@ from ..algebra.operators import (
     Union,
 )
 from .catalog import Database
-from .table import Table
+from .table import Table, tuple_getter
 
 __all__ = ["ExecutionContext", "PhysicalOperator", "execute", "ExecutorError"]
 
@@ -52,14 +58,25 @@ class ExecutorError(AlgebraError):
 
 @dataclass
 class ExecutionContext:
-    """Carries the catalog and execution statistics through a plan run."""
+    """Carries the catalog and execution statistics through a plan run.
+
+    ``statistics`` is kept as a :class:`collections.Counter` internally so
+    counting is a single ``+=`` without per-call ``dict.get`` probing; a
+    plain mapping passed to the constructor is coerced (its entries are
+    seeded into the counter).  :func:`execute` folds the counts back into
+    whatever mapping the caller supplied.
+    """
 
     database: Database
-    statistics: Dict[str, int] | None = None
+    statistics: Counter | None = None
+
+    def __post_init__(self) -> None:
+        if self.statistics is not None and not isinstance(self.statistics, Counter):
+            self.statistics = Counter(self.statistics)
 
     def count(self, key: str, amount: int = 1) -> None:
         if self.statistics is not None:
-            self.statistics[key] = self.statistics.get(key, 0) + amount
+            self.statistics[key] += amount
 
 
 class PhysicalOperator(Operator):
@@ -81,8 +98,16 @@ def execute(
     statistics: Dict[str, int] | None = None,
 ) -> Table:
     """Execute a logical plan against the catalog and return a result table."""
-    context = ExecutionContext(database=database, statistics=statistics)
-    return _execute(plan, context)
+    counter = None if statistics is None else Counter()
+    context = ExecutionContext(database=database, statistics=counter)
+    try:
+        return _execute(plan, context)
+    finally:
+        # Fold counts back even when a plan raises mid-execution, so the
+        # caller keeps the partial statistics of the stages that did run.
+        if statistics is not None:
+            for key, amount in counter.items():
+                statistics[key] = statistics.get(key, 0) + amount
 
 
 def _execute(plan: Operator, context: ExecutionContext) -> Table:
@@ -143,10 +168,8 @@ def _execute(plan: Operator, context: ExecutionContext) -> Table:
 
 def _selection(table: Table, predicate: Expression, context: ExecutionContext) -> Table:
     result = table.empty_copy("selection")
-    schema = table.schema
-    for row in table.rows:
-        if predicate.evaluate(dict(zip(schema, row))):
-            result.append(row)
+    keep = predicate.compile(table.schema)
+    result.rows = [row for row in table.rows if keep(row)]
     context.count("rows_filtered", len(table) - len(result))
     return result
 
@@ -155,15 +178,23 @@ def _projection(
     table: Table, columns: Tuple[Tuple[Expression, str], ...], context: ExecutionContext
 ) -> Table:
     result = Table("projection", tuple(name for _, name in columns))
-    schema = table.schema
     simple_indexes = _simple_attribute_indexes(table, columns)
     if simple_indexes is not None:
-        for row in table.rows:
-            result.append(tuple(row[i] for i in simple_indexes))
+        getter = tuple_getter(simple_indexes)
+        result.rows = [getter(row) for row in table.rows]
         return result
-    for row in table.rows:
-        row_dict = dict(zip(schema, row))
-        result.append(tuple(expr.evaluate(row_dict) for expr, _ in columns))
+    compiled = tuple(expr.compile(table.schema) for expr, _ in columns)
+    if len(compiled) == 1:
+        (only,) = compiled
+        result.rows = [(only(row),) for row in table.rows]
+    elif len(compiled) == 2:
+        first, second = compiled
+        result.rows = [(first(row), second(row)) for row in table.rows]
+    elif len(compiled) == 3:
+        first, second, third = compiled
+        result.rows = [(first(row), second(row), third(row)) for row in table.rows]
+    else:
+        result.rows = [tuple(fn(row) for fn in compiled) for row in table.rows]
     return result
 
 
@@ -193,7 +224,8 @@ def _union(left: Table, right: Table) -> Table:
             f"union-incompatible schemas {left.schema} and {right.schema}"
         )
     result = left.empty_copy("union")
-    result.rows = list(left.rows) + list(right.rows)
+    result.rows = list(left.rows)
+    result.rows.extend(right.rows)
     return result
 
 
@@ -215,13 +247,15 @@ def _aggregate(table: Table, group_by: Tuple[str, ...], aggregates) -> Table:
     unknown = set(group_by) - set(table.schema)
     if unknown:
         raise ExecutorError(f"unknown group-by attributes {sorted(unknown)}")
-    group_indexes = [table.column_index(a) for a in group_by]
-    schema = table.schema
+    group_key = tuple_getter([table.column_index(a) for a in group_by])
+    compiled = [
+        None if spec.argument is None else spec.argument.compile(table.schema)
+        for spec in aggregates
+    ]
 
-    groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     for row in table.rows:
-        key = tuple(row[i] for i in group_indexes)
-        groups.setdefault(key, []).append(dict(zip(schema, row)))
+        groups.setdefault(group_key(row), []).append(row)
     if not group_by and not groups:
         groups[()] = []
 
@@ -229,12 +263,29 @@ def _aggregate(table: Table, group_by: Tuple[str, ...], aggregates) -> Table:
         "aggregation", tuple(group_by) + tuple(spec.alias for spec in aggregates)
     )
     for key, members in groups.items():
-        weighted = [(row, 1) for row in members]
         values = tuple(
-            aggregate_rows(spec.func, spec.argument, weighted) for spec in aggregates
+            _aggregate_members(spec.func, argument, members)
+            for spec, argument in zip(aggregates, compiled)
         )
         result.append(key + values)
     return result
+
+
+def _aggregate_members(func: str, argument, rows: List[Tuple[Any, ...]]) -> Any:
+    """One SQL aggregate over raw rows (compiled argument, multiplicity 1).
+
+    Same semantics as :func:`repro.abstract_model.krelation.aggregate_rows`
+    -- ``None`` argument values are ignored like SQL NULLs, an empty input
+    yields ``0`` for ``count`` and ``None`` otherwise -- sharing its
+    :func:`~repro.abstract_model.krelation.aggregate_values` dispatch.
+    """
+    if func == "count":
+        if argument is None:
+            return len(rows)
+        return sum(1 for row in rows if argument(row) is not None)
+    return aggregate_values(
+        func, [(v, 1) for v in map(argument, rows) if v is not None]
+    )
 
 
 # -- join -----------------------------------------------------------------------------------------
@@ -322,34 +373,44 @@ def _hash_join(
     residual: Optional[Expression],
     result: Table,
 ) -> None:
-    left_indexes = [li for li, _ri in keys]
-    right_indexes = [ri for _li, ri in keys]
+    left_key = tuple_getter([li for li, _ri in keys])
+    right_key = tuple_getter([ri for _li, ri in keys])
 
     buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     for row in right.rows:
-        buckets.setdefault(tuple(row[i] for i in right_indexes), []).append(row)
+        buckets.setdefault(right_key(row), []).append(row)
 
-    left_schema, right_schema = left.schema, right.schema
+    # The residual (e.g. the interval-overlap conjunct added by the snapshot
+    # rewrite) is compiled once against the concatenated schema and applied
+    # to the concatenated candidate tuples -- no per-pair dict.
+    out = result.rows
+    empty: Tuple[Tuple[Any, ...], ...] = ()
+    if residual is None:
+        for left_row in left.rows:
+            for right_row in buckets.get(left_key(left_row), empty):
+                out.append(left_row + right_row)
+        return
+    keep = residual.compile(left.schema + right.schema)
     for left_row in left.rows:
-        key = tuple(left_row[i] for i in left_indexes)
-        for right_row in buckets.get(key, ()):
-            if residual is not None:
-                combined = dict(zip(left_schema, left_row))
-                combined.update(zip(right_schema, right_row))
-                if not residual.evaluate(combined):
-                    continue
-            result.append(left_row + right_row)
+        for right_row in buckets.get(left_key(left_row), empty):
+            combined = left_row + right_row
+            if keep(combined):
+                out.append(combined)
 
 
 def _nested_loop_join(
     left: Table, right: Table, predicate: Optional[Expression], result: Table
 ) -> None:
-    left_schema, right_schema = left.schema, right.schema
+    out = result.rows
+    right_rows = right.rows
+    if predicate is None:
+        for left_row in left.rows:
+            for right_row in right_rows:
+                out.append(left_row + right_row)
+        return
+    keep = predicate.compile(left.schema + right.schema)
     for left_row in left.rows:
-        left_dict = dict(zip(left_schema, left_row))
-        for right_row in right.rows:
-            if predicate is not None:
-                combined = {**left_dict, **dict(zip(right_schema, right_row))}
-                if not predicate.evaluate(combined):
-                    continue
-            result.append(left_row + right_row)
+        for right_row in right_rows:
+            combined = left_row + right_row
+            if keep(combined):
+                out.append(combined)

@@ -9,11 +9,28 @@ value tuples -- duplicates are meaningful (bag semantics) and order is not.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
-__all__ = ["Table", "TableError"]
+__all__ = ["Table", "TableError", "tuple_getter"]
 
 Row = Tuple[Any, ...]
+
+
+def tuple_getter(indexes: Sequence[int]) -> Callable[[Row], Tuple[Any, ...]]:
+    """A fast row -> tuple-of-columns extractor (always returns a tuple).
+
+    ``operator.itemgetter`` runs the multi-column case at C speed; the zero-
+    and one-column cases (where itemgetter would not return a tuple) are
+    special-cased so callers can rely on the result being a tuple.
+    """
+    if not indexes:
+        empty: Row = ()
+        return lambda row: empty
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    return itemgetter(*indexes)
 
 
 class TableError(Exception):

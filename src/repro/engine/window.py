@@ -10,16 +10,21 @@ window functions (``row_number``, ``lag``, ``lead``, ``running_sum``,
 ``sum_over_partition``) -- in a reusable form, so the coalesce and split
 operators in :mod:`repro.rewriter` read like their SQL counterparts.
 
+Window functions run on *raw row tuples*: a function receives the ordered
+rows of one partition plus a column resolver (attribute name -> tuple
+index) and resolves each attribute it needs exactly once per partition, so
+no per-row dictionaries are materialised on the coalescing hot path.
+
 Complexity matches the SQL execution model: one sort per distinct window
 declaration, i.e. ``O(n log n)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
-from .table import Row, Table
+from .table import Row, Table, tuple_getter
 
 __all__ = [
     "WindowSpec",
@@ -42,15 +47,16 @@ class WindowSpec:
     order_by: Tuple[str, ...] = ()
 
 
-#: A window function receives the ordered rows of one partition (as dicts)
-#: and returns one output value per row.
-WindowFunction = Callable[[List[Dict[str, Any]]], List[Any]]
+#: A window function receives the ordered raw rows of one partition and a
+#: column resolver (attribute name -> tuple index) and returns one output
+#: value per row.
+WindowFunction = Callable[[List[Row], Callable[[str], int]], List[Any]]
 
 
 def row_number() -> WindowFunction:
     """``row_number() OVER (...)`` -- 1-based position within the partition."""
 
-    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+    def compute(rows: List[Row], column_index: Callable[[str], int]) -> List[Any]:
         return list(range(1, len(rows) + 1))
 
     return compute
@@ -59,11 +65,11 @@ def row_number() -> WindowFunction:
 def lag(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction:
     """``lag(attribute, offset, default) OVER (...)``."""
 
-    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
-        values = [row[attribute] for row in rows]
+    def compute(rows: List[Row], column_index: Callable[[str], int]) -> List[Any]:
+        index = column_index(attribute)
         return [
-            values[i - offset] if i - offset >= 0 else default
-            for i in range(len(values))
+            rows[position - offset][index] if position - offset >= 0 else default
+            for position in range(len(rows))
         ]
 
     return compute
@@ -72,11 +78,12 @@ def lag(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction:
 def lead(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction:
     """``lead(attribute, offset, default) OVER (...)``."""
 
-    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
-        values = [row[attribute] for row in rows]
+    def compute(rows: List[Row], column_index: Callable[[str], int]) -> List[Any]:
+        index = column_index(attribute)
+        size = len(rows)
         return [
-            values[i + offset] if i + offset < len(values) else default
-            for i in range(len(values))
+            rows[position + offset][index] if position + offset < size else default
+            for position in range(size)
         ]
 
     return compute
@@ -85,11 +92,12 @@ def lead(attribute: str, default: Any = None, offset: int = 1) -> WindowFunction
 def running_sum(attribute: str) -> WindowFunction:
     """``sum(attribute) OVER (... ROWS UNBOUNDED PRECEDING)`` -- prefix sums."""
 
-    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
+    def compute(rows: List[Row], column_index: Callable[[str], int]) -> List[Any]:
+        index = column_index(attribute)
         total = 0
         prefix: List[Any] = []
         for row in rows:
-            value = row[attribute]
+            value = row[index]
             total += 0 if value is None else value
             prefix.append(total)
         return prefix
@@ -100,8 +108,9 @@ def running_sum(attribute: str) -> WindowFunction:
 def sum_over_partition(attribute: str) -> WindowFunction:
     """``sum(attribute) OVER (PARTITION BY ...)`` -- one total per partition."""
 
-    def compute(rows: List[Dict[str, Any]]) -> List[Any]:
-        total = sum(row[attribute] or 0 for row in rows)
+    def compute(rows: List[Row], column_index: Callable[[str], int]) -> List[Any]:
+        index = column_index(attribute)
+        total = sum(row[index] or 0 for row in rows)
         return [total] * len(rows)
 
     return compute
@@ -111,11 +120,10 @@ def partition_rows(
     table: Table, partition_by: Sequence[str]
 ) -> Dict[Tuple[Any, ...], List[Row]]:
     """Group the table's rows by the values of the partition attributes."""
-    indexes = [table.column_index(a) for a in partition_by]
+    key_of = tuple_getter([table.column_index(a) for a in partition_by])
     partitions: Dict[Tuple[Any, ...], List[Row]] = {}
     for row in table.rows:
-        key = tuple(row[i] for i in indexes)
-        partitions.setdefault(key, []).append(row)
+        partitions.setdefault(key_of(row), []).append(row)
     return partitions
 
 
@@ -139,12 +147,19 @@ def apply_window(
 
     result = Table(output_name or table.name, table.schema + new_attributes)
     order_indexes = [table.column_index(a) for a in spec.order_by]
+    sort_key = tuple_getter(order_indexes) if order_indexes else None
+    column_index = table.column_index
 
+    out = result.rows
     for _key, rows in partition_rows(table, spec.partition_by).items():
-        ordered = sorted(rows, key=lambda row: tuple(row[i] for i in order_indexes))
-        row_dicts = [table.row_dict(row) for row in ordered]
-        columns = {name: func(row_dicts) for name, func in functions.items()}
-        for position, row in enumerate(ordered):
-            extra = tuple(columns[name][position] for name in new_attributes)
-            result.append(row + extra)
+        ordered = sorted(rows, key=sort_key) if sort_key is not None else rows
+        columns = [func(ordered, column_index) for func in functions.values()]
+        if len(columns) == 1:
+            extras = columns[0]
+            out.extend(row + (extra,) for row, extra in zip(ordered, extras))
+        else:
+            out.extend(
+                row + tuple(column[position] for column in columns)
+                for position, row in enumerate(ordered)
+            )
     return result

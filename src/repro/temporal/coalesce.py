@@ -1,9 +1,14 @@
 """Free-standing K-coalescing helpers (paper Section 5.2).
 
-The algorithmic core lives in :meth:`TemporalElement.coalesce`; this module
+The algorithmic core is the event-sweep kernel behind
+:meth:`TemporalElement.coalesce` (one sort of the interval endpoints plus a
+running multiset of active annotations, instead of rescanning every
+interval per elementary segment); this module
 exposes the paper's vocabulary as module-level functions so that callers and
 tests can speak in the paper's terms (``CK``, ``CP``, ``CPI``) and adds a
-batch helper for coalescing whole annotation dictionaries.
+batch helper for coalescing whole annotation dictionaries.  Normal forms
+are memoised per element, so batch-coalescing already-coalesced annotations
+(e.g. the outputs of period-semiring arithmetic) costs nothing.
 """
 
 from __future__ import annotations

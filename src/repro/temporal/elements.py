@@ -18,17 +18,99 @@ Design notes
   constant, and the K-operation is applied per segment.  By distributivity
   this coincides with the paper's point-wise definitions followed by
   coalescing, but costs O(n log n) instead of O(|T|).
+* All segment enumeration runs through one **event-sweep kernel**
+  (:func:`_event_sweep`): the begin/end points of every interval are sorted
+  once, a running multiset of the active annotations per operand is
+  maintained across the sweep, and each elementary segment's annotation is
+  the semiring sum of the active multiset.  Cost: one O(E log E) sort of
+  the E interval endpoints plus, per endpoint, a re-fold of the multisets
+  that changed there (semiring sums cannot be decremented generically) --
+  O(E log E) total when interval overlap is bounded, degrading gracefully
+  towards the naive O(n * m) only when many intervals cover a common range,
+  instead of paying the per-segment full rescan always.  Coalesced normal
+  forms are memoised per element, so repeated ``is_zero``/``coalesce``
+  calls (the period semiring makes many) are free after the first.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from collections import Counter
+from operator import itemgetter
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..semirings.base import Semiring, SemiringError
 from .intervals import Interval
 from .timedomain import TimeDomain
 
 __all__ = ["TemporalElement"]
+
+
+Entries = Tuple[Tuple[Interval, Any], ...]
+
+
+def _multiset_sum(active: Counter, semiring: Semiring) -> Any:
+    """Semiring sum of a multiset of annotation values."""
+    if not active:
+        return semiring.zero
+    return semiring.sum(
+        value for value, count in active.items() for _ in range(count)
+    )
+
+
+def _event_sweep(
+    operands: Sequence[Entries], semiring: Semiring, domain: TimeDomain
+) -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
+    """Sweep the intervals of one or more entry lists in a single pass.
+
+    Yields ``(begin, end, sums)`` for every elementary segment induced by
+    the union of all interval endpoints, covering the whole time domain
+    ``[Tmin, Tmax)`` (segments where nothing is active carry ``0_K``).
+    ``sums[i]`` is the semiring sum of operand ``i``'s annotations active on
+    the segment, maintained via a running multiset per operand -- intervals
+    enter at their begin point and leave at their end point.  The total
+    cost is one sort of the events plus a re-fold of the multisets that
+    changed at each endpoint (worst case O(n) per endpoint when many
+    intervals overlap; O(1)-ish for the mostly-disjoint entry lists the
+    engine produces).
+    """
+    arity = len(operands)
+    events: List[Tuple[int, int, int, Any]] = []
+    for position, entries in enumerate(operands):
+        for interval, value in entries:
+            events.append((interval.begin, 1, position, value))
+            events.append((interval.end, -1, position, value))
+    # Sort by time point only; events at the same point are all applied
+    # before the next segment is emitted, so their relative order is
+    # irrelevant (and annotation values need not be orderable).
+    events.sort(key=itemgetter(0))
+
+    active: List[Counter] = [Counter() for _ in range(arity)]
+    sums: List[Any] = [semiring.zero] * arity
+    changed: List[bool] = [False] * arity
+    previous = domain.min_point
+    position = 0
+    total = len(events)
+    while position < total:
+        point = events[position][0]
+        if point > previous:
+            yield previous, point, tuple(sums)
+            previous = point
+        while position < total and events[position][0] == point:
+            _, delta, operand, value = events[position]
+            counter = active[operand]
+            remaining = counter[value] + delta
+            if remaining:
+                counter[value] = remaining
+            else:
+                del counter[value]
+            changed[operand] = True
+            position += 1
+        for operand in range(arity):
+            if changed[operand]:
+                sums[operand] = _multiset_sum(active[operand], semiring)
+                changed[operand] = False
+    if previous < domain.max_point:
+        yield previous, domain.max_point, tuple(sums)
 
 
 class TemporalElement:
@@ -44,7 +126,7 @@ class TemporalElement:
         Interval -> K value.  Intervals mapped to ``0_K`` are dropped.
     """
 
-    __slots__ = ("semiring", "domain", "_entries", "_hash")
+    __slots__ = ("semiring", "domain", "_entries", "_hash", "_coalesced")
 
     def __init__(
         self,
@@ -67,10 +149,11 @@ class TemporalElement:
                 entries.pop(clamped, None)
                 continue
             entries[clamped] = value
-        self._entries: Tuple[Tuple[Interval, Any], ...] = tuple(
+        self._entries: Entries = tuple(
             sorted(entries.items(), key=lambda item: (item[0].begin, item[0].end))
         )
         self._hash: Optional[int] = None
+        self._coalesced: Optional["TemporalElement"] = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -150,18 +233,26 @@ class TemporalElement:
         """The annotation valid at ``point``: sum over covering intervals.
 
         This is the paper's timeslice operator ``tau_T`` for temporal
-        K-elements.
+        K-elements.  Entries are kept sorted by begin point, so the scan
+        stops at the first interval starting after ``point``.
         """
         self.domain.validate_point(point)
-        return self.semiring.sum(
-            value for interval, value in self._entries if point in interval
-        )
+
+        def covering() -> Iterator[Any]:
+            for interval, value in self._entries:
+                if interval.begin > point:
+                    break
+                if point < interval.end:
+                    yield value
+
+        return self.semiring.sum(covering())
 
     def snapshot_equivalent(self, other: "TemporalElement") -> bool:
         """True iff both elements encode the same annotation at every point."""
         self._check_compatible(other)
-        for segment, left, right in self._aligned_segments(other):
-            del segment
+        for _begin, _end, (left, right) in _event_sweep(
+            (self._entries, other._entries), self.semiring, self.domain
+        ):
             if left != right:
                 return False
         return True
@@ -182,14 +273,6 @@ class TemporalElement:
             previous = value
         return points
 
-    def _endpoints(self) -> List[int]:
-        """All interval endpoints, plus the domain bounds."""
-        points = {self.domain.min_point, self.domain.max_point}
-        for interval, _ in self._entries:
-            points.add(interval.begin)
-            points.add(interval.end)
-        return sorted(points)
-
     def _segments(self) -> Iterator[Tuple[Interval, Any]]:
         """Yield (elementary interval, annotation) covering the whole domain.
 
@@ -197,48 +280,54 @@ class TemporalElement:
         them.  Segments whose annotation is ``0_K`` are still yielded so the
         caller can see gaps (needed e.g. for aggregation over gaps).
         """
-        endpoints = self._endpoints()
-        entries = self._entries
-        for begin, end in zip(endpoints, endpoints[1:]):
-            segment = Interval(begin, end)
-            value = self.semiring.sum(
-                v for interval, v in entries if interval.overlaps(segment)
-            )
-            yield segment, value
+        for begin, end, (value,) in _event_sweep(
+            (self._entries,), self.semiring, self.domain
+        ):
+            yield Interval(begin, end), value
 
-    def _aligned_segments(
-        self, other: "TemporalElement"
-    ) -> Iterator[Tuple[Interval, Any, Any]]:
-        """Yield (segment, value_in_self, value_in_other) over joint endpoints."""
-        endpoints = sorted(set(self._endpoints()) | set(other._endpoints()))
-        for begin, end in zip(endpoints, endpoints[1:]):
-            segment = Interval(begin, end)
-            left = self.semiring.sum(
-                v for interval, v in self._entries if interval.overlaps(segment)
-            )
-            right = other.semiring.sum(
-                v for interval, v in other._entries if interval.overlaps(segment)
-            )
-            yield segment, left, right
+    def _merged_segments(
+        self, operands: Sequence[Entries], combine
+    ) -> List[Tuple[Interval, Any]]:
+        """Sweep ``operands``, combine per-segment sums, merge adjacent runs.
+
+        The output is a coalesced entry list: maximal intervals of constant
+        non-zero combined annotation.
+        """
+        merged: List[Tuple[Interval, Any]] = []
+        is_zero = self.semiring.is_zero
+        for begin, end, sums in _event_sweep(operands, self.semiring, self.domain):
+            value = combine(sums)
+            if is_zero(value):
+                continue
+            if merged:
+                last_interval, last_value = merged[-1]
+                if last_interval.end == begin and last_value == value:
+                    merged[-1] = (Interval(last_interval.begin, end), value)
+                    continue
+            merged.append((Interval(begin, end), value))
+        return merged
+
+    def _coalesced_from_segments(
+        self, segments: List[Tuple[Interval, Any]]
+    ) -> "TemporalElement":
+        """Build an element from already-coalesced segments, memoising it."""
+        element = TemporalElement(self.semiring, self.domain, segments)
+        element._coalesced = element
+        return element
 
     def coalesce(self) -> "TemporalElement":
         """K-coalescing (Definition 5.3): the unique normal form.
 
         Produces maximal intervals of constant, non-zero annotation; the
         result has no overlapping intervals and no adjacent intervals with
-        equal annotation.
+        equal annotation.  One event sweep over the entries; the normal
+        form is memoised per element.
         """
-        merged: List[Tuple[Interval, Any]] = []
-        for segment, value in self._segments():
-            if self.semiring.is_zero(value):
-                continue
-            if merged:
-                last_interval, last_value = merged[-1]
-                if last_value == value and last_interval.end == segment.begin:
-                    merged[-1] = (Interval(last_interval.begin, segment.end), value)
-                    continue
-            merged.append((segment, value))
-        return TemporalElement(self.semiring, self.domain, merged)
+        if self._coalesced is None:
+            self._coalesced = self._coalesced_from_segments(
+                self._merged_segments((self._entries,), lambda sums: sums[0])
+            )
+        return self._coalesced
 
     def is_coalesced(self) -> bool:
         """True iff the element already is in K-coalesced normal form."""
@@ -249,17 +338,24 @@ class TemporalElement:
     def plus(self, other: "TemporalElement") -> "TemporalElement":
         """Coalesced point-wise addition (the ``+`` of the period semiring)."""
         self._check_compatible(other)
-        combined = list(self._entries) + list(other._entries)
-        return TemporalElement(self.semiring, self.domain, combined).coalesce()
+        plus = self.semiring.plus
+        return self._coalesced_from_segments(
+            self._merged_segments(
+                (self._entries, other._entries),
+                lambda sums: plus(sums[0], sums[1]),
+            )
+        )
 
     def times(self, other: "TemporalElement") -> "TemporalElement":
         """Coalesced point-wise multiplication (the ``*`` of the period semiring)."""
         self._check_compatible(other)
-        segments = [
-            (segment, self.semiring.times(left, right))
-            for segment, left, right in self._aligned_segments(other)
-        ]
-        return TemporalElement(self.semiring, self.domain, segments).coalesce()
+        times = self.semiring.times
+        return self._coalesced_from_segments(
+            self._merged_segments(
+                (self._entries, other._entries),
+                lambda sums: times(sums[0], sums[1]),
+            )
+        )
 
     def monus(self, other: "TemporalElement") -> "TemporalElement":
         """Coalesced point-wise monus (the difference of the period semiring)."""
@@ -269,16 +365,20 @@ class TemporalElement:
                 f"semiring {self.semiring.name} has no monus; "
                 "difference queries are undefined for it"
             )
-        segments = [
-            (segment, self.semiring.monus(left, right))
-            for segment, left, right in self._aligned_segments(other)
-        ]
-        return TemporalElement(self.semiring, self.domain, segments).coalesce()
+        monus = self.semiring.monus
+        return self._coalesced_from_segments(
+            self._merged_segments(
+                (self._entries, other._entries),
+                lambda sums: monus(sums[0], sums[1]),
+            )
+        )
 
     def natural_leq(self, other: "TemporalElement") -> bool:
         """Point-wise natural order, the natural order of ``K^T`` (Theorem 7.1)."""
         self._check_compatible(other)
-        for _segment, left, right in self._aligned_segments(other):
+        for _begin, _end, (left, right) in _event_sweep(
+            (self._entries, other._entries), self.semiring, self.domain
+        ):
             if not self.semiring.natural_leq(left, right):
                 return False
         return True

@@ -13,7 +13,11 @@ K-relations snapshot-reducible.
 This module realises the construction as :class:`PeriodSemiring` (a
 :class:`~repro.semirings.base.Semiring` whose values are
 :class:`~repro.temporal.elements.TemporalElement` instances) and provides the
-timeslice homomorphism factory :func:`timeslice_homomorphism`.
+timeslice homomorphism factory :func:`timeslice_homomorphism`.  All
+arithmetic runs on the elements' event-sweep kernel: ``plus``/``times``/
+``monus`` are one joint sweep over both operands' endpoints, and results
+come back already in (memoised) coalesced normal form, so chains of period
+arithmetic never re-normalise.
 """
 
 from __future__ import annotations
@@ -60,7 +64,12 @@ class PeriodSemiring(Semiring):
         return self._coerce(a).times(self._coerce(b))
 
     def is_zero(self, a: Any) -> bool:
-        return self._coerce(a).coalesce().is_empty()
+        element = self._coerce(a)
+        if not element._entries:
+            return True
+        # Entries hold non-zero values only, but overlapping entries might
+        # still sum to 0_K; the (memoised) sweep-based normal form decides.
+        return element.coalesce().is_empty()
 
     def is_member(self, a: Any) -> bool:
         return (

@@ -1,0 +1,189 @@
+"""Differential tests: sweep-line temporal kernel == the seed's segment scan.
+
+:class:`TemporalElement` now enumerates elementary segments with a single
+event sweep (sorted endpoints + running multiset of active values).  The
+seed implementation recomputed, for every elementary segment, a full scan
+over all intervals -- O(n*m) but trivially correct.  That implementation is
+preserved here as ``_reference_*`` oracles, and randomized interval sets
+over several semirings pin the sweep-line results to it:
+``coalesce``/``plus``/``times``/``monus``/``at``/``snapshot_equivalent``.
+"""
+
+import random
+
+import pytest
+
+from repro.semirings.provenance import WhyProvenanceSemiring
+from repro.semirings.standard import BOOLEAN, NATURAL
+from repro.temporal.elements import TemporalElement
+from repro.temporal.intervals import Interval
+from repro.temporal.timedomain import TimeDomain
+
+WHY = WhyProvenanceSemiring()
+DOMAIN = TimeDomain(0, 60)
+
+
+# -- the seed's O(n*m) segment scan, kept as the oracle ------------------------------
+
+
+def _reference_endpoints(element):
+    points = {element.domain.min_point, element.domain.max_point}
+    for interval, _ in element.items():
+        points.add(interval.begin)
+        points.add(interval.end)
+    return sorted(points)
+
+
+def _reference_segments(element):
+    endpoints = _reference_endpoints(element)
+    entries = list(element.items())
+    for begin, end in zip(endpoints, endpoints[1:]):
+        segment = Interval(begin, end)
+        value = element.semiring.sum(
+            v for interval, v in entries if interval.overlaps(segment)
+        )
+        yield segment, value
+
+
+def _reference_aligned_segments(left, right):
+    endpoints = sorted(
+        set(_reference_endpoints(left)) | set(_reference_endpoints(right))
+    )
+    for begin, end in zip(endpoints, endpoints[1:]):
+        segment = Interval(begin, end)
+        left_value = left.semiring.sum(
+            v for interval, v in left.items() if interval.overlaps(segment)
+        )
+        right_value = right.semiring.sum(
+            v for interval, v in right.items() if interval.overlaps(segment)
+        )
+        yield segment, left_value, right_value
+
+
+def _reference_coalesce(element):
+    merged = []
+    for segment, value in _reference_segments(element):
+        if element.semiring.is_zero(value):
+            continue
+        if merged:
+            last_interval, last_value = merged[-1]
+            if last_value == value and last_interval.end == segment.begin:
+                merged[-1] = (Interval(last_interval.begin, segment.end), value)
+                continue
+        merged.append((segment, value))
+    return TemporalElement(element.semiring, element.domain, merged)
+
+
+def _reference_plus(left, right):
+    combined = list(left.items()) + list(right.items())
+    return _reference_coalesce(
+        TemporalElement(left.semiring, left.domain, combined)
+    )
+
+
+def _reference_pointwise(left, right, operation):
+    segments = [
+        (segment, operation(a, b))
+        for segment, a, b in _reference_aligned_segments(left, right)
+    ]
+    return _reference_coalesce(
+        TemporalElement(left.semiring, left.domain, segments)
+    )
+
+
+def _reference_at(element, point):
+    return element.semiring.sum(
+        value for interval, value in element.items() if point in interval
+    )
+
+
+# -- randomized element generators ----------------------------------------------------
+
+
+def random_element(rng, semiring, max_intervals=12):
+    entries = []
+    for _ in range(rng.randrange(max_intervals + 1)):
+        begin = rng.randrange(DOMAIN.min_point, DOMAIN.max_point)
+        end = min(DOMAIN.max_point, begin + rng.randrange(1, 20))
+        if semiring is NATURAL:
+            value = rng.randrange(1, 4)
+        elif semiring is BOOLEAN:
+            value = True
+        else:  # why-provenance witness sets
+            value = frozenset(
+                {frozenset(rng.sample(["p", "q", "r", "s"], rng.randrange(1, 3)))}
+            )
+        entries.append((Interval(begin, end), value))
+    return TemporalElement(semiring, DOMAIN, entries)
+
+
+SEMIRINGS = [NATURAL, BOOLEAN, WHY]
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", range(10))
+def test_sweep_coalesce_matches_reference(semiring, seed):
+    rng = random.Random(seed)
+    for _ in range(20):
+        element = random_element(rng, semiring)
+        assert element.coalesce() == _reference_coalesce(element)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", range(10))
+def test_sweep_plus_and_times_match_reference(semiring, seed):
+    rng = random.Random(100 + seed)
+    for _ in range(12):
+        left = random_element(rng, semiring)
+        right = random_element(rng, semiring)
+        assert left.plus(right) == _reference_plus(left, right)
+        assert left.times(right) == _reference_pointwise(
+            left, right, semiring.times
+        )
+
+
+@pytest.mark.parametrize(
+    "semiring", [NATURAL, BOOLEAN], ids=lambda s: s.name
+)
+@pytest.mark.parametrize("seed", range(10))
+def test_sweep_monus_matches_reference(semiring, seed):
+    rng = random.Random(200 + seed)
+    for _ in range(12):
+        left = random_element(rng, semiring)
+        right = random_element(rng, semiring)
+        assert left.monus(right) == _reference_pointwise(
+            left, right, semiring.monus
+        )
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", range(5))
+def test_sweep_at_matches_reference(semiring, seed):
+    rng = random.Random(300 + seed)
+    for _ in range(10):
+        element = random_element(rng, semiring)
+        for point in range(DOMAIN.min_point, DOMAIN.max_point, 7):
+            assert element.at(point) == _reference_at(element, point)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_sweep_snapshot_equivalence_matches_reference(seed):
+    rng = random.Random(400 + seed)
+    for _ in range(15):
+        left = random_element(rng, NATURAL)
+        right = random_element(rng, NATURAL)
+        reference = all(
+            a == b for _seg, a, b in _reference_aligned_segments(left, right)
+        )
+        assert left.snapshot_equivalent(right) == reference
+        # An element is always snapshot-equivalent to its own normal form.
+        assert left.snapshot_equivalent(left.coalesce())
+
+
+def test_pointwise_results_are_memoised_normal_forms():
+    rng = random.Random(7)
+    left = random_element(rng, NATURAL)
+    right = random_element(rng, NATURAL)
+    total = left.plus(right)
+    assert total.coalesce() is total
+    assert total.is_coalesced()
