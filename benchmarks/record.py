@@ -1,12 +1,15 @@
 """Record the perf trajectory of the repo: time the paper's headline workloads.
 
-Runs the two workloads that the paper's evaluation (and our acceptance
-criteria) track across PRs and appends the timings to a JSON ledger:
+Runs the workloads that the paper's evaluation (and our acceptance criteria)
+track across PRs and appends the timings to a JSON ledger:
 
 * **Figure 5** -- multiset coalescing over a materialised selection result
   (``SELECT *`` under snapshot semantics), per input size;
 * **Table 3 (Employee)** -- the ten Employee snapshot queries through the
-  rewriting middleware (the paper's ``*-Seq`` column).
+  rewriting middleware: the paper's ``*-Seq`` column on the in-memory
+  engine plus a ``*-SQL`` column executing the same rewritten plans on the
+  SQLite backend (catalog pre-loaded, so the timing isolates query
+  execution).
 
 Usage::
 
@@ -17,6 +20,10 @@ Each invocation merges its results under ``--label`` into ``--output``
 (default ``BENCH_pr1.json`` at the repo root) and, when at least two labels
 are present, reports the speedup of the newest label over the oldest so the
 perf trajectory is visible from the ledger alone.
+
+If any workload raises, the error is recorded in the ledger entry, the
+remaining workloads still run, and the process exits non-zero -- a partial
+ledger must fail CI rather than silently looking like a clean run.
 """
 
 from __future__ import annotations
@@ -24,10 +31,13 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
+import traceback
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from repro.backends import SQLiteBackend
 from repro.datasets.employees import EmployeesConfig, generate_employees
 from repro.datasets.workloads import EMPLOYEE_WORKLOAD
 from repro.experiments.figure5 import run_figure5
@@ -51,24 +61,38 @@ def time_figure5(sizes: Sequence[int], repetitions: int) -> List[Dict[str, objec
     ]
 
 
+def _best_of(action, repetitions: int) -> float:
+    best = None
+    for _ in range(max(1, repetitions)):
+        started = time.perf_counter()
+        action()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
 def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
     config = EmployeesConfig(scale=scale)
     database = generate_employees(config)
     middleware = SnapshotMiddleware(config.domain, database=database)
+    sql_backend = SQLiteBackend.for_database(database)
     per_query: Dict[str, float] = {}
-    for name, factory in EMPLOYEE_WORKLOAD.items():
-        query = factory()
-        best = None
-        for _ in range(max(1, repetitions)):
-            started = time.perf_counter()
-            middleware.execute(query)
-            elapsed = time.perf_counter() - started
-            best = elapsed if best is None else min(best, elapsed)
-        per_query[name] = best
+    per_query_sql: Dict[str, float] = {}
+    try:
+        for name, factory in EMPLOYEE_WORKLOAD.items():
+            query = factory()
+            per_query[name] = _best_of(lambda: middleware.execute(query), repetitions)
+            per_query_sql[name] = _best_of(
+                lambda: middleware.execute(query, backend=sql_backend), repetitions
+            )
+    finally:
+        sql_backend.close()
     return {
         "scale": scale,
         "per_query_seconds": per_query,
         "total_seconds": sum(per_query.values()),
+        "per_query_sql_seconds": per_query_sql,
+        "total_sql_seconds": sum(per_query_sql.values()),
     }
 
 
@@ -79,20 +103,27 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
         return {}
     base, new = ledger[labels[0]], ledger[labels[-1]]
     summary: Dict[str, object] = {"baseline": labels[0], "current": labels[-1]}
-    base_f5 = {r["input_rows"]: r["seconds"] for r in base["figure5"]}
+    base_f5 = {r["input_rows"]: r["seconds"] for r in base.get("figure5", ())}
     summary["figure5"] = {
         str(r["input_rows"]): round(base_f5[r["input_rows"]] / r["seconds"], 2)
-        for r in new["figure5"]
+        for r in new.get("figure5", ())
         if r["input_rows"] in base_f5 and r["seconds"] > 0
     }
-    base_total = base["table3_employee"]["total_seconds"]
-    new_total = new["table3_employee"]["total_seconds"]
-    if new_total > 0:
+    base_table3 = base.get("table3_employee", {})
+    new_table3 = new.get("table3_employee", {})
+    base_total = base_table3.get("total_seconds")
+    new_total = new_table3.get("total_seconds")
+    if base_total is not None and new_total:
         summary["table3_employee_total"] = round(base_total / new_total, 2)
+    # The SQL column only exists from PR 2 on; compare when both sides have it.
+    base_sql = base_table3.get("total_sql_seconds")
+    new_sql = new_table3.get("total_sql_seconds")
+    if base_sql is not None and new_sql:
+        summary["table3_employee_sql_total"] = round(base_sql / new_sql, 2)
     return summary
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
@@ -106,26 +137,45 @@ def main() -> None:
     parser.add_argument("--employee-scale", type=float, default=EMPLOYEE_SCALE)
     args = parser.parse_args()
 
-    entry = {
-        "recorded_platform": platform.python_version(),
-        "figure5": time_figure5(args.sizes, args.repetitions),
-        "table3_employee": time_table3_employee(
+    entry: Dict[str, object] = {"recorded_platform": platform.python_version()}
+    errors: Dict[str, str] = {}
+    workloads = {
+        "figure5": lambda: time_figure5(args.sizes, args.repetitions),
+        "table3_employee": lambda: time_table3_employee(
             args.employee_scale, args.repetitions
         ),
     }
+    for name, workload in workloads.items():
+        try:
+            entry[name] = workload()
+        except Exception:  # noqa: BLE001 - every failure must reach the ledger
+            errors[name] = traceback.format_exc()
+            print(f"workload {name!r} failed:\n{errors[name]}", file=sys.stderr)
+    if errors:
+        entry["errors"] = errors
 
     output = Path(args.output)
     ledger: Dict[str, Dict] = {}
     if output.exists():
         ledger = json.loads(output.read_text())
     ledger.pop("speedup_newest_vs_oldest", None)
+    # Re-recording an existing label moves it to the end, so "newest vs
+    # oldest" in the summary below always reflects actual recording order.
+    ledger.pop(args.label, None)
     ledger[args.label] = entry
     speedup = _speedups(ledger)
     if speedup:
         ledger["speedup_newest_vs_oldest"] = speedup
     output.write_text(json.dumps(ledger, indent=2) + "\n")
     print(json.dumps(ledger, indent=2))
+    if errors:
+        print(
+            f"{len(errors)} workload(s) failed; ledger entry {args.label!r} is partial",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

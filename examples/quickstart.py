@@ -83,6 +83,11 @@ def main() -> None:
     print("\nRewritten plan for Qonduty:")
     print(middleware.explain(onduty))
 
+    # 7. The same query on a real DBMS: the middleware compiles the rewritten
+    #    plan to SQL (window functions included) and runs it on sqlite3.
+    print("\nQonduty executed on the SQLite backend (identical result):")
+    print(middleware.execute(onduty, backend="sqlite").pretty())
+
 
 if __name__ == "__main__":
     main()

@@ -11,7 +11,8 @@ Relations*, PVLDB 12(6), 2019:
   (:mod:`repro.temporal`, :mod:`repro.logical_model`);
 * **implementation** -- SQL period relations on a multiset engine
   (:mod:`repro.engine`) with the REWR query rewriting and the snapshot
-  middleware (:mod:`repro.rewriter`);
+  middleware (:mod:`repro.rewriter`), plus pluggable execution backends
+  (:mod:`repro.backends`): the in-memory engine or real SQL via sqlite3;
 * **baselines, datasets, experiments** -- everything needed to re-run the
   paper's evaluation (:mod:`repro.baselines`, :mod:`repro.datasets`,
   :mod:`repro.experiments`).
@@ -41,6 +42,13 @@ from .abstract_model import (
     SnapshotKRelation,
     evaluate_snapshot_query,
 )
+from .backends import (
+    ExecutionBackend,
+    InMemoryBackend,
+    SQLiteBackend,
+    available_backends,
+    resolve_backend,
+)
 from .engine import Database, Table
 from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
 from .rewriter import SnapshotMiddleware
@@ -68,4 +76,9 @@ __all__ = [
     "SnapshotMiddleware",
     "Database",
     "Table",
+    "ExecutionBackend",
+    "InMemoryBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "resolve_backend",
 ]

@@ -12,6 +12,7 @@ from .running_example import (
     query_onduty,
     query_skillreq,
 )
+from .sqlite_loader import connect_memory, load_database, load_table
 from .tpcbih import TPCH_TABLES, TPCBiHConfig, generate_tpcbih
 from .workloads import (
     EMPLOYEE_WORKLOAD,
@@ -40,4 +41,7 @@ __all__ = [
     "TPCH_WORKLOAD",
     "employee_queries",
     "tpch_queries",
+    "connect_memory",
+    "load_database",
+    "load_table",
 ]

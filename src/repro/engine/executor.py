@@ -28,7 +28,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoids the runtime import cycle engine -> backends -> engine
+    from ..backends.base import ExecutionBackend
 
 from ..abstract_model.krelation import aggregate_values
 from ..algebra.expressions import Attribute, BooleanOp, Comparison, Expression
@@ -96,8 +99,20 @@ def execute(
     plan: Operator,
     database: Database,
     statistics: Dict[str, int] | None = None,
+    backend: "str | ExecutionBackend | None" = None,
 ) -> Table:
-    """Execute a logical plan against the catalog and return a result table."""
+    """Execute a logical plan against the catalog and return a result table.
+
+    ``backend`` selects the execution host: ``None`` (or ``"memory"``) runs
+    the in-process engine below; any other registered backend name -- or an
+    :class:`~repro.backends.ExecutionBackend` instance, e.g. a session
+    :class:`~repro.backends.SQLiteBackend` reusing one connection -- routes
+    the plan through :mod:`repro.backends` instead.
+    """
+    if backend is not None and backend != "memory":
+        from ..backends.base import resolve_backend
+
+        return resolve_backend(backend).execute(plan, database, statistics)
     counter = None if statistics is None else Counter()
     context = ExecutionContext(database=database, statistics=counter)
     try:

@@ -15,6 +15,7 @@ exactly one coalesce over a scan) and reports wall-clock seconds per size.
 
 from __future__ import annotations
 
+import gc
 import random
 import time
 from typing import Dict, Iterable, List, Sequence
@@ -88,12 +89,23 @@ def run_figure5(
         )
         best = None
         output_rows = 0
-        for _ in range(max(1, repetitions)):
-            started = time.perf_counter()
-            table = middleware.execute(query)
-            elapsed = time.perf_counter() - started
-            best = elapsed if best is None else min(best, elapsed)
-            output_rows = len(table)
+        # Like timeit: collect up front and keep the collector out of the
+        # timed region, so the figure measures the coalescing kernel rather
+        # than whatever heap the surrounding process (e.g. a test suite)
+        # accumulated -- gen-2 pauses otherwise dwarf the small sizes.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(max(1, repetitions)):
+                started = time.perf_counter()
+                table = middleware.execute(query)
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+                output_rows = len(table)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         results.append(
             {
                 "input_rows": size,

@@ -29,7 +29,10 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoids the runtime import cycle rewriter -> backends -> rewriter
+    from ..backends.base import ExecutionBackend
 
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
@@ -67,6 +70,11 @@ class SnapshotMiddleware:
         plan.
     optimize:
         Run the engine's rule-based optimizer on rewritten plans.
+    backend:
+        Default execution host for rewritten plans: a registered backend
+        name (``"memory"``, ``"sqlite"``) or an
+        :class:`~repro.backends.ExecutionBackend` instance.  ``None`` keeps
+        the in-memory engine; :meth:`execute` can override per query.
     """
 
     def __init__(
@@ -76,11 +84,13 @@ class SnapshotMiddleware:
         coalesce: str = "final",
         use_temporal_aggregate: bool = True,
         optimize: bool = True,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
         self.domain = domain
         self.database = database if database is not None else Database()
         self.period_semiring = PeriodSemiring(NATURAL, domain)
         self.optimize = optimize
+        self.backend = backend
         self._rewriter = SnapshotRewriter(
             self.database,
             domain,
@@ -121,16 +131,33 @@ class SnapshotMiddleware:
         return plan
 
     def execute(
-        self, query: Operator, statistics: Optional[Dict[str, int]] = None
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> Table:
-        """Evaluate ``query`` under snapshot semantics; return a period table."""
-        return engine_execute(self.rewrite(query), self.database, statistics)
+        """Evaluate ``query`` under snapshot semantics; return a period table.
+
+        ``backend`` overrides the middleware's default execution host for
+        this query (see the constructor's ``backend`` parameter).
+        """
+        return engine_execute(
+            self.rewrite(query),
+            self.database,
+            statistics,
+            backend=backend if backend is not None else self.backend,
+        )
 
     def execute_decoded(
-        self, query: Operator, statistics: Optional[Dict[str, int]] = None
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> PeriodKRelation:
         """Evaluate and decode the result into a period K-relation (N^T)."""
-        return period_decode(self.execute(query, statistics), self.period_semiring)
+        return period_decode(
+            self.execute(query, statistics, backend=backend), self.period_semiring
+        )
 
     def execute_snapshot(self, query: Operator, point: int):
         """Evaluate under snapshot semantics and slice the result at ``point``.

@@ -35,6 +35,7 @@ class TestPublicSurface:
             "repro.logical_model",
             "repro.algebra",
             "repro.engine",
+            "repro.backends",
             "repro.rewriter",
             "repro.baselines",
             "repro.datasets",
