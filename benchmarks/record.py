@@ -9,7 +9,11 @@ track across PRs and appends the timings to a JSON ledger:
   rewriting middleware: the paper's ``*-Seq`` column on the in-memory
   engine plus a ``*-SQL`` column executing the same rewritten plans on the
   SQLite backend (catalog pre-loaded, so the timing isolates query
-  execution).
+  execution);
+* **overlap join** -- a microbenchmark of the executor's sort-merge
+  interval join against the nested-loop fallback it replaced: a pure
+  interval-overlap theta join (no equality conjunct, so the fallback is a
+  full nested loop) over two synthetic interval tables.
 
 Usage::
 
@@ -17,7 +21,7 @@ Usage::
     PYTHONPATH=src python benchmarks/record.py --label pr1
 
 Each invocation merges its results under ``--label`` into ``--output``
-(default ``BENCH_pr1.json`` at the repo root) and, when at least two labels
+(default ``BENCH_pr3.json`` at the repo root) and, when at least two labels
 are present, reports the speedup of the newest label over the oldest so the
 perf trajectory is visible from the ledger alone.
 
@@ -37,9 +41,12 @@ import traceback
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from repro.algebra import Comparison, Join, RelationAccess, and_, attr
 from repro.backends import SQLiteBackend
 from repro.datasets.employees import EmployeesConfig, generate_employees
 from repro.datasets.workloads import EMPLOYEE_WORKLOAD
+from repro.engine import Database
+from repro.engine.executor import execute as engine_execute
 from repro.experiments.figure5 import run_figure5
 from repro.rewriter.middleware import SnapshotMiddleware
 
@@ -47,6 +54,9 @@ from repro.rewriter.middleware import SnapshotMiddleware
 FIGURE5_SIZES: Sequence[int] = (1_000, 5_000, 20_000)
 FIGURE5_MONTHS = 120
 EMPLOYEE_SCALE = 0.1
+#: Rows per side of the overlap-join microbenchmark (Table-3 order of
+#: magnitude: the scale-0.1 Employee tables hold a few thousand rows).
+OVERLAP_JOIN_ROWS = 2_000
 
 
 def time_figure5(sizes: Sequence[int], repetitions: int) -> List[Dict[str, object]]:
@@ -75,7 +85,9 @@ def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
     config = EmployeesConfig(scale=scale)
     database = generate_employees(config)
     middleware = SnapshotMiddleware(config.domain, database=database)
-    sql_backend = SQLiteBackend.for_database(database)
+    # The middleware already optimizes rewritten plans; the session backend
+    # must not spend a redundant planner pass inside the timed region.
+    sql_backend = SQLiteBackend.for_database(database, optimize=False)
     per_query: Dict[str, float] = {}
     per_query_sql: Dict[str, float] = {}
     try:
@@ -93,6 +105,60 @@ def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
         "total_seconds": sum(per_query.values()),
         "per_query_sql_seconds": per_query_sql,
         "total_sql_seconds": sum(per_query_sql.values()),
+    }
+
+
+def time_overlap_join(rows: int, repetitions: int) -> Dict[str, object]:
+    """Interval join vs. nested-loop fallback on a pure overlap theta join."""
+    import random
+
+    rng = random.Random(7)
+
+    def intervals(count: int, prefix: str):
+        out = []
+        for i in range(count):
+            begin = rng.randrange(100_000)
+            out.append((f"{prefix}{i}", begin, begin + rng.randint(1, 40)))
+        return out
+
+    database = Database()
+    database.create_table(
+        "ivl_l", ("l_id", "l_begin", "l_end"), intervals(rows, "l")
+    )
+    database.create_table(
+        "ivl_r", ("r_id", "r_begin", "r_end"), intervals(rows, "r")
+    )
+    plan = Join(
+        RelationAccess("ivl_l"),
+        RelationAccess("ivl_r"),
+        and_(
+            Comparison("<", attr("l_begin"), attr("r_end")),
+            Comparison("<", attr("r_begin"), attr("l_end")),
+        ),
+    )
+    statistics: Dict[str, int] = {}
+    output_rows: Dict[str, int] = {}
+
+    def run_interval() -> None:
+        output_rows["n"] = len(engine_execute(plan, database, statistics))
+
+    interval_seconds = _best_of(run_interval, repetitions)
+    if not statistics.get("join_strategy.interval"):
+        raise RuntimeError(
+            f"overlap join did not use the interval strategy: {statistics}"
+        )
+    nested_seconds = _best_of(
+        lambda: engine_execute(plan, database, interval_join=False),
+        repetitions,
+    )
+    return {
+        "rows_per_side": rows,
+        "output_rows": output_rows["n"],
+        "interval_seconds": interval_seconds,
+        "nested_loop_seconds": nested_seconds,
+        "speedup": round(nested_seconds / interval_seconds, 2)
+        if interval_seconds > 0
+        else None,
     }
 
 
@@ -120,6 +186,11 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     new_sql = new_table3.get("total_sql_seconds")
     if base_sql is not None and new_sql:
         summary["table3_employee_sql_total"] = round(base_sql / new_sql, 2)
+    # The overlap-join microbenchmark only exists from PR 3 on.
+    base_overlap = base.get("overlap_join", {}).get("interval_seconds")
+    new_overlap = new.get("overlap_join", {}).get("interval_seconds")
+    if base_overlap is not None and new_overlap:
+        summary["overlap_join_interval"] = round(base_overlap / new_overlap, 2)
     return summary
 
 
@@ -128,13 +199,14 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr1.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=list(FIGURE5_SIZES)
     )
     parser.add_argument("--employee-scale", type=float, default=EMPLOYEE_SCALE)
+    parser.add_argument("--overlap-rows", type=int, default=OVERLAP_JOIN_ROWS)
     args = parser.parse_args()
 
     entry: Dict[str, object] = {"recorded_platform": platform.python_version()}
@@ -143,6 +215,9 @@ def main() -> int:
         "figure5": lambda: time_figure5(args.sizes, args.repetitions),
         "table3_employee": lambda: time_table3_employee(
             args.employee_scale, args.repetitions
+        ),
+        "overlap_join": lambda: time_overlap_join(
+            args.overlap_rows, args.repetitions
         ),
     }
     for name, workload in workloads.items():

@@ -11,8 +11,11 @@ Relations*, PVLDB 12(6), 2019:
   (:mod:`repro.temporal`, :mod:`repro.logical_model`);
 * **implementation** -- SQL period relations on a multiset engine
   (:mod:`repro.engine`) with the REWR query rewriting and the snapshot
-  middleware (:mod:`repro.rewriter`), plus pluggable execution backends
-  (:mod:`repro.backends`): the in-memory engine or real SQL via sqlite3;
+  middleware (:mod:`repro.rewriter`), a schema-aware planner
+  (:mod:`repro.planner`: push-down through the temporal operators, join
+  predicate normalisation feeding the engine's sort-merge interval join),
+  plus pluggable execution backends (:mod:`repro.backends`): the in-memory
+  engine or real SQL via sqlite3;
 * **baselines, datasets, experiments** -- everything needed to re-run the
   paper's evaluation (:mod:`repro.baselines`, :mod:`repro.datasets`,
   :mod:`repro.experiments`).

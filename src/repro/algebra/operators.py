@@ -69,6 +69,51 @@ class Operator:
         for child in self.children():
             yield from child.walk()
 
+    # -- planner extension hooks --------------------------------------------------
+    #
+    # The planner (:mod:`repro.planner`) knows the core RA^agg operators
+    # natively; operators outside that set (the rewriter's physical temporal
+    # operators, future custom operators) participate in static schema
+    # inference and selection push-down by overriding these two hooks, so
+    # the planner never has to import -- or even know about -- them.
+
+    def planner_schema(
+        self, child_schemas: Sequence[Optional[Tuple[str, ...]]]
+    ) -> Optional[Tuple[str, ...]]:
+        """Output schema given the (possibly unknown) child schemas.
+
+        Return the ordered attribute tuple, or ``None`` when it cannot be
+        derived statically.  The default is ``None``: unknown operators are
+        opaque to the planner.
+        """
+        return None
+
+    def planner_selection_pushdown(self, attributes: frozenset) -> Tuple[int, ...]:
+        """Child indexes a selection over ``attributes`` may be pushed into.
+
+        A selection directly above this operator whose predicate references
+        exactly ``attributes`` is replaced by selections over the children at
+        the returned indexes.  Return ``()`` (the default) to keep the
+        selection above the operator.
+        """
+        return ()
+
+    def planner_projection_pushdown(
+        self,
+        columns: Tuple[Tuple[Any, str], ...],
+        child_schemas: Sequence[Optional[Tuple[str, ...]]],
+    ) -> Optional["Operator"]:
+        """Sink a projection directly above this operator through it.
+
+        ``columns`` are the ``(expression, name)`` pairs of the projection;
+        ``child_schemas`` the statically inferred child schemas (``None``
+        where unknown).  Return a replacement plan for
+        ``Projection(self, columns)`` or ``None`` (the default) to leave the
+        projection where it is.  Implementations own the validity
+        conditions.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class RelationAccess(Operator):

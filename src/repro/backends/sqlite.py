@@ -27,6 +27,7 @@ from ..algebra.operators import Operator, RelationAccess
 from ..datasets.sqlite_loader import connect_memory, load_database
 from ..engine.catalog import Database
 from ..engine.table import Table
+from ..planner import optimize as planner_optimize
 from .base import BackendError, register_backend
 from .sqlcompile import compile_plan
 
@@ -34,18 +35,37 @@ __all__ = ["SQLiteBackend"]
 
 
 class SQLiteBackend:
-    """Compiles plans to SQL and executes them on :mod:`sqlite3`."""
+    """Compiles plans to SQL and executes them on :mod:`sqlite3`.
+
+    Plans are run through the planner (:mod:`repro.planner`) before SQL
+    compilation -- selections pushed to the base tables and identity
+    projections removed shorten the flat CTE chain the compiler emits and
+    let SQLite filter early.  ``optimize=False`` compiles the plan verbatim.
+    """
 
     name = "sqlite"
 
-    def __init__(self, connection: Optional[sqlite3.Connection] = None) -> None:
+    def __init__(
+        self,
+        connection: Optional[sqlite3.Connection] = None,
+        optimize: bool = True,
+    ) -> None:
         self._connection = connection
         self._session_database: Optional[Database] = None
+        self.optimize = optimize
 
     @classmethod
-    def for_database(cls, database: Database) -> "SQLiteBackend":
-        """A session backend with the whole catalog loaded once up front."""
-        backend = cls(connect_memory())
+    def for_database(
+        cls, database: Database, optimize: bool = True
+    ) -> "SQLiteBackend":
+        """A session backend with the whole catalog loaded once up front.
+
+        Pass ``optimize=False`` when every plan this backend will see is
+        already optimized (e.g. it only executes
+        :meth:`SnapshotMiddleware.rewrite` output), to avoid a redundant
+        planner pass per query.
+        """
+        backend = cls(connect_memory(), optimize=optimize)
         load_database(backend._connection, database)
         backend._session_database = database
         return backend
@@ -61,6 +81,8 @@ class SQLiteBackend:
         database: Database,
         statistics: Optional[Dict[str, int]] = None,
     ) -> Table:
+        if self.optimize:
+            plan = planner_optimize(plan, database, statistics)
         compiled = compile_plan(plan, database)
         if self._session_database is not None and self._connection is None:
             raise BackendError("session backend has been closed")

@@ -165,21 +165,29 @@ class BaselineEvaluator:
         # Hash the right side on the equality conjuncts of the predicate (the
         # same physical strategy the paper's Postgres baseline uses), keeping
         # the remaining conjuncts and the interval overlap as a filter.
-        from ..engine.executor import _split_join_predicate
+        from ..engine.executor import _combine_residual, _split_join_predicate
 
-        equi_keys, residual = _split_join_predicate(plan.predicate, left, right)
+        equi_keys, residual_conjuncts = _split_join_predicate(
+            plan.predicate, left, right
+        )
+        residual = _combine_residual(residual_conjuncts)
+        # SQL comparison semantics, matching the engine's hash join: a NULL
+        # key compares equal to nothing, so such rows never match.
         buckets: Dict[Tuple, List[Tuple]] = {}
         if equi_keys:
             right_key_indexes = [ri for _li, ri in equi_keys]
             for rrow in right.rows:
-                buckets.setdefault(
-                    tuple(rrow[i] for i in right_key_indexes), []
-                ).append(rrow)
+                key = tuple(rrow[i] for i in right_key_indexes)
+                if None in key:
+                    continue
+                buckets.setdefault(key, []).append(rrow)
 
         for lrow in left.rows:
             ldict = left.row_dict(lrow)
             if equi_keys:
                 key = tuple(lrow[li] for li, _ri in equi_keys)
+                if None in key:
+                    continue
                 candidates = buckets.get(key, ())
             else:
                 candidates = right.rows

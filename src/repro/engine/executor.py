@@ -10,12 +10,22 @@ middleware emits plain SQL containing window-function subqueries.
 
 Physical choices:
 
-* joins use a hash join on the equality conjuncts of the predicate (the
-  residual -- e.g. the interval-overlap condition added by the snapshot
-  rewrite -- is evaluated as a filter on candidate pairs), falling back to a
-  nested-loop join when no equality conjunct exists;
+* joins whose predicate contains the interval-overlap pattern -- a pair of
+  opposite-direction strict comparisons across the inputs, i.e.
+  ``l.begin < r.end AND r.begin < l.end`` as emitted by the snapshot
+  rewrite -- run as a **sort-merge interval join** (a forward-scan plane
+  sweep over begin-sorted inputs, partitioned by the equality conjuncts
+  when present), instead of filtering a nested-loop or hash-join result;
+* other joins use a hash join on the equality conjuncts of the predicate
+  (the residual is evaluated as a filter on candidate pairs), falling back
+  to a nested-loop join when no equality conjunct exists;
 * aggregation is hash aggregation;
 * ``EXCEPT ALL`` is evaluated with multiset counters.
+
+The strategy chosen per join is reported through the statistics mapping
+under ``join_strategy.interval`` / ``join_strategy.hash`` /
+``join_strategy.nested_loop`` (plus the historical ``hash_joins`` /
+``nested_loop_joins`` / ``interval_joins`` aliases).
 
 Every scalar expression on a hot path (selection predicates, projection
 columns, join residuals, aggregate arguments) is compiled once per plan
@@ -28,6 +38,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # avoids the runtime import cycle engine -> backends -> engine
@@ -72,6 +83,10 @@ class ExecutionContext:
 
     database: Database
     statistics: Counter | None = None
+    #: Allow the sort-merge interval join; ``False`` forces the historical
+    #: hash/nested-loop strategies (used by differential tests and the
+    #: overlap-join microbenchmark baseline).
+    interval_join: bool = True
 
     def __post_init__(self) -> None:
         if self.statistics is not None and not isinstance(self.statistics, Counter):
@@ -100,6 +115,7 @@ def execute(
     database: Database,
     statistics: Dict[str, int] | None = None,
     backend: "str | ExecutionBackend | None" = None,
+    interval_join: bool = True,
 ) -> Table:
     """Execute a logical plan against the catalog and return a result table.
 
@@ -107,14 +123,18 @@ def execute(
     the in-process engine below; any other registered backend name -- or an
     :class:`~repro.backends.ExecutionBackend` instance, e.g. a session
     :class:`~repro.backends.SQLiteBackend` reusing one connection -- routes
-    the plan through :mod:`repro.backends` instead.
+    the plan through :mod:`repro.backends` instead.  ``interval_join=False``
+    disables the sort-merge interval join (in-memory engine only), forcing
+    the nested-loop/hash fallback for overlap predicates.
     """
     if backend is not None and backend != "memory":
         from ..backends.base import resolve_backend
 
         return resolve_backend(backend).execute(plan, database, statistics)
     counter = None if statistics is None else Counter()
-    context = ExecutionContext(database=database, statistics=counter)
+    context = ExecutionContext(
+        database=database, statistics=counter, interval_join=interval_join
+    )
     try:
         return _execute(plan, context)
     finally:
@@ -320,27 +340,39 @@ def _join(
     schema = left.schema + right.schema
     result = Table("join", schema)
 
-    equi_keys, residual = _split_join_predicate(predicate, left, right)
-    if equi_keys:
+    equi_keys, residual_conjuncts = _split_join_predicate(predicate, left, right)
+    interval = None
+    if context.interval_join:
+        interval, residual_conjuncts = _extract_interval_pattern(
+            residual_conjuncts, left, right
+        )
+    residual = _combine_residual(residual_conjuncts)
+    if interval is not None:
+        context.count("interval_joins")
+        context.count("join_strategy.interval")
+        _interval_join(left, right, equi_keys, interval, residual, result)
+    elif equi_keys:
         context.count("hash_joins")
+        context.count("join_strategy.hash")
         _hash_join(left, right, equi_keys, residual, result)
     else:
         context.count("nested_loop_joins")
+        context.count("join_strategy.nested_loop")
         _nested_loop_join(left, right, predicate, result)
     return result
 
 
 def _split_join_predicate(
     predicate: Optional[Expression], left: Table, right: Table
-) -> Tuple[List[Tuple[int, int]], Optional[Expression]]:
-    """Split a predicate into hashable equi-join key pairs and a residual.
+) -> Tuple[List[Tuple[int, int]], List[Expression]]:
+    """Split a predicate into hashable equi-join key pairs and residual conjuncts.
 
     Returns ``(pairs, residual)`` where each pair is (left column index,
     right column index).  Conjuncts that are not attribute equalities across
-    the two inputs stay in the residual expression.
+    the two inputs stay in the residual list.
     """
     if predicate is None:
-        return [], None
+        return [], []
     conjuncts = _flatten_conjuncts(predicate)
     pairs: List[Tuple[int, int]] = []
     residual: List[Expression] = []
@@ -350,11 +382,15 @@ def _split_join_predicate(
             residual.append(conjunct)
         else:
             pairs.append(pair)
-    if not residual:
-        return pairs, None
-    if len(residual) == 1:
-        return pairs, residual[0]
-    return pairs, BooleanOp("and", tuple(residual))
+    return pairs, residual
+
+
+def _combine_residual(conjuncts: List[Expression]) -> Optional[Expression]:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BooleanOp("and", tuple(conjuncts))
 
 
 def _flatten_conjuncts(predicate: Expression) -> List[Expression]:
@@ -391,26 +427,202 @@ def _hash_join(
     left_key = tuple_getter([li for li, _ri in keys])
     right_key = tuple_getter([ri for _li, ri in keys])
 
+    # SQL comparison semantics: a NULL key compares equal to nothing, itself
+    # included, so rows with a NULL in any key column can never match and are
+    # excluded from both the build and the probe side (Python's ``None ==
+    # None`` would otherwise pair them up).
     buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     for row in right.rows:
-        buckets.setdefault(right_key(row), []).append(row)
+        key = right_key(row)
+        if None in key:
+            continue
+        buckets.setdefault(key, []).append(row)
 
-    # The residual (e.g. the interval-overlap conjunct added by the snapshot
-    # rewrite) is compiled once against the concatenated schema and applied
-    # to the concatenated candidate tuples -- no per-pair dict.
+    # The residual (e.g. a non-equality conjunct over both inputs) is
+    # compiled once against the concatenated schema and applied to the
+    # concatenated candidate tuples -- no per-pair dict.
     out = result.rows
     empty: Tuple[Tuple[Any, ...], ...] = ()
     if residual is None:
         for left_row in left.rows:
-            for right_row in buckets.get(left_key(left_row), empty):
+            key = left_key(left_row)
+            if None in key:
+                continue
+            for right_row in buckets.get(key, empty):
                 out.append(left_row + right_row)
         return
     keep = residual.compile(left.schema + right.schema)
     for left_row in left.rows:
-        for right_row in buckets.get(left_key(left_row), empty):
+        key = left_key(left_row)
+        if None in key:
+            continue
+        for right_row in buckets.get(key, empty):
             combined = left_row + right_row
             if keep(combined):
                 out.append(combined)
+
+
+# -- sort-merge interval join ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _IntervalPattern:
+    """Column indexes of a detected overlap predicate.
+
+    The predicate ``left[begin] < right[end] AND right[begin] < left[end]``
+    is exactly the strict-overlap test of the intervals
+    ``[left.begin, left.end)`` and ``[right.begin, right.end)`` -- the shape
+    every REWR join carries.
+    """
+
+    left_begin: int
+    left_end: int
+    right_begin: int
+    right_end: int
+
+
+def _extract_interval_pattern(
+    conjuncts: List[Expression], left: Table, right: Table
+) -> Tuple[Optional[_IntervalPattern], List[Expression]]:
+    """Find an overlap pattern among residual conjuncts.
+
+    Looks for one strict attribute comparison in each direction across the
+    inputs (``l.a < r.b`` and ``r.c < l.d``, with ``>`` normalised); together
+    they state that interval ``(a, d)`` on the left overlaps ``(c, b)`` on
+    the right.  Returns the pattern (or ``None``) plus the leftover
+    conjuncts, which the join applies as a filter on matching pairs.
+    """
+    forward: Optional[Tuple[int, int]] = None  # left column < right column
+    backward: Optional[Tuple[int, int]] = None  # right column < left column
+    remaining: List[Expression] = []
+    for conjunct in conjuncts:
+        sides = _strict_cross_comparison(conjunct, left, right)
+        if sides is None:
+            remaining.append(conjunct)
+            continue
+        direction, low, high = sides
+        if direction == "forward" and forward is None:
+            forward = (low, high)
+        elif direction == "backward" and backward is None:
+            backward = (low, high)
+        else:
+            remaining.append(conjunct)
+    if forward is None or backward is None:
+        return None, conjuncts
+    pattern = _IntervalPattern(
+        left_begin=forward[0],
+        left_end=backward[1],
+        right_begin=backward[0],
+        right_end=forward[1],
+    )
+    return pattern, remaining
+
+
+def _strict_cross_comparison(
+    conjunct: Expression, left: Table, right: Table
+) -> Optional[Tuple[str, int, int]]:
+    """Classify a conjunct as a strict ``<`` between the two inputs.
+
+    Returns ``("forward", left index, right index)`` for ``l.a < r.b``,
+    ``("backward", right index, left index)`` for ``r.c < l.d`` (both after
+    normalising ``>``), or ``None``.
+    """
+    if not (isinstance(conjunct, Comparison) and conjunct.op in ("<", ">")):
+        return None
+    lhs, rhs = conjunct.left, conjunct.right
+    if conjunct.op == ">":
+        lhs, rhs = rhs, lhs
+    if not (isinstance(lhs, Attribute) and isinstance(rhs, Attribute)):
+        return None
+    if left.has_attribute(lhs.name) and right.has_attribute(rhs.name):
+        return "forward", left.column_index(lhs.name), right.column_index(rhs.name)
+    if right.has_attribute(lhs.name) and left.has_attribute(rhs.name):
+        return "backward", right.column_index(lhs.name), left.column_index(rhs.name)
+    return None
+
+
+def _interval_join(
+    left: Table,
+    right: Table,
+    keys: List[Tuple[int, int]],
+    pattern: _IntervalPattern,
+    residual: Optional[Expression],
+    result: Table,
+) -> None:
+    """Forward-scan plane sweep over begin-sorted inputs.
+
+    Both inputs are sorted by interval begin; the side whose current head
+    starts earlier scans the other side forward while begins fall before its
+    end, emitting overlapping pairs.  Each qualifying pair is found exactly
+    once (by whichever row starts first, ties to the left input), in
+    ``O(n log n + output)`` instead of the nested loop's ``O(n^2)``.
+    Degenerate intervals (``begin >= end``) and NULL end points follow the
+    raw predicate semantics: NULL comparisons are false, so such rows are
+    dropped up front, while degenerate intervals still join wherever the
+    two strict comparisons hold.  When equality conjuncts accompany the
+    overlap pattern the sweep runs per equality-key partition.
+    """
+    keep = (
+        residual.compile(left.schema + right.schema) if residual is not None else None
+    )
+    out = result.rows
+    lb, le = pattern.left_begin, pattern.left_end
+    rb, re = pattern.right_begin, pattern.right_end
+
+    def sweep(left_rows: List[Tuple[Any, ...]], right_rows: List[Tuple[Any, ...]]) -> None:
+        lhs = [r for r in left_rows if r[lb] is not None and r[le] is not None]
+        rhs = [r for r in right_rows if r[rb] is not None and r[re] is not None]
+        lhs.sort(key=itemgetter(lb))
+        rhs.sort(key=itemgetter(rb))
+        n_left, n_right = len(lhs), len(rhs)
+        i = j = 0
+        while i < n_left and j < n_right:
+            left_row = lhs[i]
+            right_row = rhs[j]
+            if left_row[lb] <= right_row[rb]:
+                begin, end = left_row[lb], left_row[le]
+                k = j
+                while k < n_right and rhs[k][rb] < end:
+                    if begin < rhs[k][re]:
+                        combined = left_row + rhs[k]
+                        if keep is None or keep(combined):
+                            out.append(combined)
+                    k += 1
+                i += 1
+            else:
+                begin, end = right_row[rb], right_row[re]
+                k = i
+                while k < n_left and lhs[k][lb] < end:
+                    if begin < lhs[k][le]:
+                        combined = lhs[k] + right_row
+                        if keep is None or keep(combined):
+                            out.append(combined)
+                    k += 1
+                j += 1
+
+    if not keys:
+        sweep(left.rows, right.rows)
+        return
+    # Partition both sides by the equality keys (SQL NULL semantics: a NULL
+    # key matches nothing) and sweep each co-partition.
+    left_key = tuple_getter([li for li, _ri in keys])
+    right_key = tuple_getter([ri for _li, ri in keys])
+    right_parts: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in right.rows:
+        key = right_key(row)
+        if None in key:
+            continue
+        right_parts.setdefault(key, []).append(row)
+    left_parts: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in left.rows:
+        key = left_key(row)
+        if None in key:
+            continue
+        left_parts.setdefault(key, []).append(row)
+    for key, left_rows in left_parts.items():
+        right_rows = right_parts.get(key)
+        if right_rows:
+            sweep(left_rows, right_rows)
 
 
 def _nested_loop_join(

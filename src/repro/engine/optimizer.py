@@ -1,248 +1,14 @@
-"""Rule-based logical plan optimisation for the multiset engine.
+"""Compatibility shim: the rule-based optimizer grew into :mod:`repro.planner`.
 
-The engine applies a small set of classical rewrites before execution:
+The engine's original optimizer (selection push-down, conjunct splitting,
+projection collapsing) lives on -- with full static schema inference for
+every operator, push-down through bag difference and the temporal extension
+operators, and join-predicate folding -- as the ``repro.planner`` subsystem.
+This module keeps the historical import surface working::
 
-* **selection push-down** -- a selection is pushed below projections,
-  renames, unions and into the matching side of a join when all attributes
-  it references are available there;
-* **conjunct splitting** -- ``sigma_{a AND b}`` becomes two selections so
-  each conjunct can be pushed independently;
-* **projection simplification** -- consecutive attribute-only projections
-  collapse into one.
-
-These rules matter for the snapshot workloads because the REWR rewriting
-(Fig. 4 of the paper) produces deeply nested plans: the selection of e.g.
-``join-3`` (salary > 70k) starts above a temporal join and is pushed down to
-the base table, matching what a real DBMS's optimizer does to the generated
-SQL.  The optimizer never reorders across coalesce/split extension
-operators, whose results are order-insensitive but cardinality-sensitive.
+    from repro.engine.optimizer import optimize, available_attributes
 """
 
-from __future__ import annotations
+from ..planner import available_attributes, infer_schema, optimize, split_conjuncts
 
-from typing import Optional, Set, Tuple
-
-from ..algebra.expressions import Attribute, BooleanOp, Expression
-from ..algebra.operators import (
-    Aggregation,
-    ConstantRelation,
-    Difference,
-    Distinct,
-    Join,
-    Operator,
-    Projection,
-    RelationAccess,
-    Rename,
-    Selection,
-    Union,
-)
-from .catalog import Database
-
-__all__ = ["optimize", "available_attributes", "split_conjuncts"]
-
-
-def optimize(plan: Operator, database: Optional[Database] = None) -> Operator:
-    """Apply the rewrite rules until a fixpoint (bounded number of passes)."""
-    previous = None
-    current = plan
-    for _round in range(10):
-        if current == previous:
-            break
-        previous = current
-        current = _push_selections(current, database)
-        current = _collapse_projections(current)
-    return current
-
-
-def split_conjuncts(predicate: Expression) -> Tuple[Expression, ...]:
-    """Split a predicate into its top-level conjuncts."""
-    if isinstance(predicate, BooleanOp) and predicate.op == "and":
-        result: list[Expression] = []
-        for operand in predicate.operands:
-            result.extend(split_conjuncts(operand))
-        return tuple(result)
-    return (predicate,)
-
-
-def available_attributes(
-    plan: Operator, database: Optional[Database] = None
-) -> Optional[Set[str]]:
-    """The set of output attribute names of a plan, if statically known.
-
-    Returns None when the plan contains a relation access and no catalog was
-    provided (the schema is then unknown to the optimizer and push-down into
-    that subtree is skipped).
-    """
-    if isinstance(plan, RelationAccess):
-        if database is None or plan.name not in database:
-            return None
-        return set(database.table(plan.name).schema)
-    if isinstance(plan, ConstantRelation):
-        return set(plan.schema)
-    if isinstance(plan, Projection):
-        return set(plan.output_names)
-    if isinstance(plan, Rename):
-        child = available_attributes(plan.child, database)
-        if child is None:
-            return None
-        renames = dict(plan.renames)
-        return {renames.get(name, name) for name in child}
-    if isinstance(plan, Selection) or isinstance(plan, Distinct):
-        return available_attributes(plan.child, database)
-    if isinstance(plan, Join):
-        left = available_attributes(plan.left, database)
-        right = available_attributes(plan.right, database)
-        if left is None or right is None:
-            return None
-        return left | right
-    if isinstance(plan, (Union, Difference)):
-        return available_attributes(plan.left, database)
-    if isinstance(plan, Aggregation):
-        return set(plan.output_names)
-    # Extension operators: schema not statically known here.
-    children = plan.children()
-    if len(children) == 1:
-        return None
-    return None
-
-
-def _push_selections(plan: Operator, database: Optional[Database]) -> Operator:
-    children = tuple(_push_selections(child, database) for child in plan.children())
-    if children:
-        plan = plan.with_children(*children)
-
-    if not isinstance(plan, Selection):
-        return plan
-
-    child = plan.child
-    conjuncts = split_conjuncts(plan.predicate)
-
-    if isinstance(child, Selection):
-        # Merge adjacent selections so conjuncts can be pushed individually.
-        merged = BooleanOp("and", tuple(conjuncts) + split_conjuncts(child.predicate))
-        return _push_selections(Selection(child.child, merged), database)
-
-    if isinstance(child, (Union,)):
-        pushed = Union(
-            Selection(child.left, plan.predicate),
-            Selection(child.right, plan.predicate),
-        )
-        return pushed.with_children(
-            _push_selections(pushed.left, database),
-            _push_selections(pushed.right, database),
-        )
-
-    if isinstance(child, Rename):
-        renames = dict(child.renames)
-        inverse = {new: old for old, new in renames.items()}
-        if all(
-            attribute in inverse or attribute not in renames.values()
-            for conjunct in conjuncts
-            for attribute in conjunct.attributes()
-        ):
-            rewritten = tuple(_rename_expression(c, inverse) for c in conjuncts)
-            return Rename(
-                _push_selections(
-                    Selection(child.child, _combine(rewritten)), database
-                ),
-                child.renames,
-            )
-        return plan
-
-    if isinstance(child, Join):
-        left_attributes = available_attributes(child.left, database)
-        right_attributes = available_attributes(child.right, database)
-        remaining = []
-        left_conjuncts = []
-        right_conjuncts = []
-        for conjunct in conjuncts:
-            used = set(conjunct.attributes())
-            if left_attributes is not None and used <= left_attributes:
-                left_conjuncts.append(conjunct)
-            elif right_attributes is not None and used <= right_attributes:
-                right_conjuncts.append(conjunct)
-            else:
-                remaining.append(conjunct)
-        if not left_conjuncts and not right_conjuncts:
-            return plan
-        new_left = (
-            Selection(child.left, _combine(tuple(left_conjuncts)))
-            if left_conjuncts
-            else child.left
-        )
-        new_right = (
-            Selection(child.right, _combine(tuple(right_conjuncts)))
-            if right_conjuncts
-            else child.right
-        )
-        new_join = Join(
-            _push_selections(new_left, database),
-            _push_selections(new_right, database),
-            child.predicate,
-        )
-        if remaining:
-            return Selection(new_join, _combine(tuple(remaining)))
-        return new_join
-
-    return plan
-
-
-def _collapse_projections(plan: Operator) -> Operator:
-    children = tuple(_collapse_projections(child) for child in plan.children())
-    if children:
-        plan = plan.with_children(*children)
-    if isinstance(plan, Projection) and isinstance(plan.child, Projection):
-        inner = plan.child
-        inner_map = {name: expr for expr, name in inner.columns}
-        if all(
-            isinstance(expr, Attribute) and expr.name in inner_map
-            for expr, _name in plan.columns
-        ):
-            collapsed = tuple(
-                (inner_map[expr.name], name) for expr, name in plan.columns
-            )
-            return Projection(inner.child, collapsed)
-    return plan
-
-
-def _combine(conjuncts: Tuple[Expression, ...]) -> Expression:
-    if len(conjuncts) == 1:
-        return conjuncts[0]
-    return BooleanOp("and", conjuncts)
-
-
-def _rename_expression(expression: Expression, mapping: dict) -> Expression:
-    """Rewrite attribute references according to ``mapping`` (new -> old)."""
-    if isinstance(expression, Attribute):
-        return Attribute(mapping.get(expression.name, expression.name))
-    if isinstance(expression, BooleanOp):
-        return BooleanOp(
-            expression.op,
-            tuple(_rename_expression(op, mapping) for op in expression.operands),
-        )
-    # Comparison / Arithmetic / FunctionCall / Not / IsNull all expose their
-    # operands as dataclass fields; rebuild them generically.
-    from ..algebra import expressions as e
-
-    if isinstance(expression, e.Comparison):
-        return e.Comparison(
-            expression.op,
-            _rename_expression(expression.left, mapping),
-            _rename_expression(expression.right, mapping),
-        )
-    if isinstance(expression, e.Arithmetic):
-        return e.Arithmetic(
-            expression.op,
-            _rename_expression(expression.left, mapping),
-            _rename_expression(expression.right, mapping),
-        )
-    if isinstance(expression, e.Not):
-        return e.Not(_rename_expression(expression.operand, mapping))
-    if isinstance(expression, e.IsNull):
-        return e.IsNull(_rename_expression(expression.operand, mapping), expression.negated)
-    if isinstance(expression, e.FunctionCall):
-        return e.FunctionCall(
-            expression.name,
-            tuple(_rename_expression(a, mapping) for a in expression.args),
-        )
-    return expression
+__all__ = ["optimize", "available_attributes", "infer_schema", "split_conjuncts"]

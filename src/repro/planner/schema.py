@@ -1,0 +1,90 @@
+"""Static schema inference for logical plans.
+
+``infer_schema`` derives the *ordered* output attribute tuple of a plan
+without executing it; ``available_attributes`` is the set-valued view the
+push-down rules consume.  Both return ``None`` when the schema cannot be
+resolved statically -- a relation access with no catalog entry, or an
+operator that does not implement the ``planner_schema`` hook.  Push-down
+decisions are never made against a partially known schema: for the binary
+set operators in particular, an unresolvable *right* subtree makes the whole
+operator unresolvable, even though only the left child names the output.
+
+The module deliberately imports nothing outside :mod:`repro.algebra`; the
+catalog argument is duck-typed (``name in database`` /
+``database.table(name).schema``) so the planner can sit below both the
+engine and the SQL backends without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set, Tuple
+
+from ..algebra.operators import (
+    Aggregation,
+    ConstantRelation,
+    Difference,
+    Distinct,
+    Join,
+    Operator,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+)
+
+if TYPE_CHECKING:  # duck-typed at runtime to keep the planner import-light
+    from ..engine.catalog import Database
+
+__all__ = ["infer_schema", "available_attributes"]
+
+
+def infer_schema(
+    plan: Operator, database: "Optional[Database]" = None
+) -> Optional[Tuple[str, ...]]:
+    """The ordered output schema of a plan, or ``None`` if not statically known."""
+    if isinstance(plan, RelationAccess):
+        if database is None or plan.name not in database:
+            return None
+        return tuple(database.table(plan.name).schema)
+    if isinstance(plan, ConstantRelation):
+        return tuple(plan.schema)
+    if isinstance(plan, Projection):
+        return plan.output_names
+    if isinstance(plan, (Selection, Distinct)):
+        return infer_schema(plan.child, database)
+    if isinstance(plan, Rename):
+        child = infer_schema(plan.child, database)
+        if child is None:
+            return None
+        renames = dict(plan.renames)
+        return tuple(renames.get(name, name) for name in child)
+    if isinstance(plan, Join):
+        left = infer_schema(plan.left, database)
+        right = infer_schema(plan.right, database)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(plan, (Union, Difference)):
+        # The left child names the output, but a decision based on it is only
+        # sound when the right subtree is resolvable too (and compatible):
+        # rows of the right child flow through positionally.
+        left = infer_schema(plan.left, database)
+        right = infer_schema(plan.right, database)
+        if left is None or right is None or len(left) != len(right):
+            return None
+        return left
+    if isinstance(plan, Aggregation):
+        return plan.output_names
+    # Extension operators (coalesce/split/temporal aggregation, custom
+    # physical operators) answer through the planner hook.
+    child_schemas = tuple(infer_schema(child, database) for child in plan.children())
+    return plan.planner_schema(child_schemas)
+
+
+def available_attributes(
+    plan: Operator, database: "Optional[Database]" = None
+) -> Optional[Set[str]]:
+    """The set of output attribute names of a plan, if statically known."""
+    schema = infer_schema(plan, database)
+    return None if schema is None else set(schema)

@@ -29,6 +29,7 @@ Typical use::
 
 from __future__ import annotations
 
+import copy
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # avoids the runtime import cycle rewriter -> backends -> rewriter
@@ -37,7 +38,7 @@ if TYPE_CHECKING:  # avoids the runtime import cycle rewriter -> backends -> rew
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.executor import execute as engine_execute
-from ..engine.optimizer import optimize as engine_optimize
+from ..planner import optimize as planner_optimize
 from ..engine.table import Table
 from ..logical_model.period_relation import PeriodKRelation
 from ..semirings.standard import NATURAL
@@ -123,11 +124,17 @@ class SnapshotMiddleware:
 
     # -- query execution ------------------------------------------------------------------------------------
 
-    def rewrite(self, query: Operator) -> Operator:
-        """REWR(query): the rewritten plan (after optimisation if enabled)."""
+    def rewrite(
+        self, query: Operator, statistics: Optional[Dict[str, int]] = None
+    ) -> Operator:
+        """REWR(query): the rewritten plan (after optimisation if enabled).
+
+        ``statistics``, when given, receives the planner's ``planner.*`` rule
+        counters (see :mod:`repro.planner`).
+        """
         plan = self._rewriter.rewrite(query)
         if self.optimize:
-            plan = engine_optimize(plan, self.database)
+            plan = planner_optimize(plan, self.database, statistics)
         return plan
 
     def execute(
@@ -139,14 +146,29 @@ class SnapshotMiddleware:
         """Evaluate ``query`` under snapshot semantics; return a period table.
 
         ``backend`` overrides the middleware's default execution host for
-        this query (see the constructor's ``backend`` parameter).
+        this query (see the constructor's ``backend`` parameter).  The
+        ``statistics`` mapping collects both the planner's rule counters and
+        the executor's counters (``join_strategy.*`` and friends).
         """
-        return engine_execute(
-            self.rewrite(query),
-            self.database,
-            statistics,
-            backend=backend if backend is not None else self.backend,
-        )
+        chosen = backend if backend is not None else self.backend
+        plan = self.rewrite(query, statistics)
+        if chosen is None or chosen == "memory":
+            return engine_execute(plan, self.database, statistics)
+        from ..backends.base import resolve_backend
+
+        resolved = resolve_backend(chosen)
+        if getattr(resolved, "optimize", False):
+            # The middleware already applied (or deliberately skipped, with
+            # ``optimize=False``) the planner; the backend must not spend a
+            # redundant pass on the plan -- or worse, override that choice.
+            # The flag is flipped on a shallow copy because the resolved
+            # backend may be a shared session instance (or come from a
+            # registry factory handing out a shared object) that the
+            # middleware does not own; outside middleware-routed plans it
+            # keeps its own setting.
+            resolved = copy.copy(resolved)
+            resolved.optimize = False
+        return resolved.execute(plan, self.database, statistics)
 
     def execute_decoded(
         self,

@@ -23,7 +23,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..algebra.operators import AggregateSpec, Operator
+from ..algebra.expressions import Attribute
+from ..algebra.operators import AggregateSpec, Operator, Projection
 from ..engine.executor import ExecutionContext, ExecutorError, PhysicalOperator
 from ..engine.table import Table, tuple_getter
 from .periodenc import T_BEGIN, T_END
@@ -56,6 +57,47 @@ class CoalesceOperator(PhysicalOperator):
 
     def with_children(self, child: Operator) -> "CoalesceOperator":
         return CoalesceOperator(child, self.period)
+
+    # -- planner hooks -------------------------------------------------------------------
+
+    def planner_schema(self, child_schemas):
+        (child,) = child_schemas
+        if child is None or not set(self.period) <= set(child):
+            return None
+        return tuple(a for a in child if a not in self.period) + self.period
+
+    def planner_selection_pushdown(self, attributes):
+        # Coalescing partitions the input by its data attributes; a predicate
+        # over data attributes keeps or drops whole partitions, so it
+        # commutes.  Predicates touching the period attributes must stay
+        # above (coalescing changes the intervals).
+        if attributes & set(self.period):
+            return ()
+        return (0,)
+
+    def planner_projection_pushdown(self, columns, child_schemas):
+        # A projection commutes with coalescing when it is a pure
+        # *permutation/rename* of the data attributes (each referenced
+        # exactly once -- dropping or duplicating one would change the
+        # partitioning) that keeps the period attributes untouched as the
+        # two trailing columns.
+        (child,) = child_schemas
+        if child is None or len(columns) < 2:
+            return None
+        begin, end = self.period
+        if not all(isinstance(expr, Attribute) for expr, _name in columns):
+            return None
+        if tuple(columns[-2]) != (Attribute(begin), begin) or tuple(columns[-1]) != (
+            Attribute(end),
+            end,
+        ):
+            return None
+        data = tuple(a for a in child if a not in self.period)
+        sources = [expr.name for expr, _name in columns[:-2]]
+        names = [name for _expr, name in columns]
+        if sorted(sources) != sorted(data) or len(set(names)) != len(names):
+            return None
+        return CoalesceOperator(Projection(self.child, tuple(columns)), self.period)
 
     def execute(self, children: Sequence[Table], context: ExecutionContext) -> Table:
         (table,) = children
@@ -126,6 +168,44 @@ class SplitOperator(PhysicalOperator):
 
     def with_children(self, left: Operator, right: Operator) -> "SplitOperator":
         return SplitOperator(left, right, self.group_by, self.period)
+
+    # -- planner hooks -------------------------------------------------------------------
+
+    def planner_schema(self, child_schemas):
+        return child_schemas[0]
+
+    def planner_selection_pushdown(self, attributes):
+        # A predicate over the grouping attributes keeps or drops whole
+        # groups.  End points are collected per group from *both* inputs, so
+        # the selection must be applied to both children; the surviving
+        # groups then see exactly the same cut points as before.
+        if attributes and attributes <= set(self.group_by):
+            return (0, 1)
+        return ()
+
+    def planner_projection_pushdown(self, columns, child_schemas):
+        # Splitting only rewrites the period attributes and only reads the
+        # grouping attributes, so an attribute-only projection sinks into the
+        # left input when it keeps group and period attributes untouched
+        # under their own names -- and references the period attributes
+        # *only* through those identity columns (a copy such as
+        # ``t_begin AS orig_begin`` would freeze the pre-split value).
+        begin, end = self.period
+        if not all(isinstance(expr, Attribute) for expr, _name in columns):
+            return None
+        pairs = [(expr.name, name) for expr, name in columns]
+        period_pairs = sorted(
+            (source, name)
+            for source, name in pairs
+            if source in self.period or name in self.period
+        )
+        if period_pairs != sorted(((begin, begin), (end, end))):
+            return None
+        if any((attribute, attribute) not in pairs for attribute in self.group_by):
+            return None
+        return SplitOperator(
+            Projection(self.left, tuple(columns)), self.right, self.group_by, self.period
+        )
 
     def execute(self, children: Sequence[Table], context: ExecutionContext) -> Table:
         left, right = children
@@ -199,6 +279,23 @@ class TemporalAggregateOperator(PhysicalOperator):
         return TemporalAggregateOperator(
             child, self.group_by, self.aggregates, self.period
         )
+
+    # -- planner hooks -------------------------------------------------------------------
+
+    def planner_schema(self, child_schemas):
+        return (
+            tuple(self.group_by)
+            + tuple(spec.alias for spec in self.aggregates)
+            + self.period
+        )
+
+    def planner_selection_pushdown(self, attributes):
+        # Groups are swept independently, so grouping-attribute predicates
+        # commute.  With an empty group_by the operator aggregates a single
+        # (gap-padded) group; nothing may move below it then.
+        if attributes and attributes <= set(self.group_by):
+            return (0,)
+        return ()
 
     def execute(self, children: Sequence[Table], context: ExecutionContext) -> Table:
         (table,) = children

@@ -136,6 +136,31 @@ class TestPositiveAlgebraIsCorrectEverywhere:
 
 
 class TestBaselineInfrastructure:
+    def test_null_join_keys_never_match(self, database):
+        """SQL semantics in the baseline hash join: NULL = NULL is not true
+        (matching the engine's hash/interval joins and real PostgreSQL)."""
+        database.create_table(
+            "w2",
+            ["name2", "skill2", "t_begin", "t_end"],
+            [("Zoe", None, 0, 24), ("Ann", "SP", 0, 24)],
+            period=("t_begin", "t_end"),
+        )
+        database.create_table(
+            "a2",
+            ["mach2", "req2", "t_begin", "t_end"],
+            [("M9", None, 0, 24), ("M1", "SP", 0, 24)],
+            period=("t_begin", "t_end"),
+        )
+        evaluator = TemporalAlignmentEvaluator(database, TIME_DOMAIN)
+        query = Join(
+            RelationAccess("w2"),
+            RelationAccess("a2"),
+            Comparison("=", attr("skill2"), attr("req2")),
+        )
+        result = evaluator.execute(query)
+        names = {row[result.column_index("name2")] for row in result.rows}
+        assert names == {"Ann"}
+
     def test_unsupported_operator_raises(self, database):
         class Strange:
             pass

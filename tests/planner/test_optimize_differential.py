@@ -1,0 +1,75 @@
+"""Property test: the planner never changes results, on either backend.
+
+For random snapshot queries over the running-example catalog, the REWR
+rewriting produces plans containing every operator the planner handles --
+coalesce / split / temporal aggregation included, plus joins carrying the
+interval-overlap predicate.  Executing the optimized plan must return the
+same bag (and the same schema) as the un-optimized plan, on the in-memory
+engine and on the SQLite backend alike.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+
+from repro.backends import SQLiteBackend
+from repro.datasets.running_example import load_running_example
+from repro.engine import execute
+from repro.planner import optimize
+
+from tests.strategies import running_example_queries
+
+
+def _plans(query):
+    middleware = load_running_example()
+    rewritten = middleware._rewriter.rewrite(query)
+    optimized = optimize(rewritten, middleware.database)
+    return middleware, rewritten, optimized
+
+
+@given(query=running_example_queries())
+def test_optimized_plans_match_on_memory_backend(query):
+    middleware, rewritten, optimized = _plans(query)
+    baseline = execute(rewritten, middleware.database)
+    result = execute(optimized, middleware.database)
+    assert result.schema == baseline.schema
+    assert Counter(result.rows) == Counter(baseline.rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(query=running_example_queries())
+def test_optimized_plans_match_on_sqlite_backend(query):
+    middleware, rewritten, optimized = _plans(query)
+    baseline = execute(rewritten, middleware.database)
+    backend = SQLiteBackend()  # one-shot; optimizes internally by default
+    result = backend.execute(optimized, middleware.database)
+    assert result.schema == baseline.schema
+    assert Counter(result.rows) == Counter(baseline.rows)
+
+
+def test_middleware_optimize_flag_respected_on_registry_backends():
+    """``optimize=False`` must hold on the SQLite path too (the registry
+    backend would otherwise re-run the planner and override the choice)."""
+    from repro.datasets.running_example import query_onduty
+
+    middleware = load_running_example()
+    middleware.optimize = False
+    statistics: dict = {}
+    off = middleware.execute(query_onduty(), statistics=statistics, backend="sqlite")
+    assert not any(key.startswith("planner.") for key in statistics)
+
+    middleware.optimize = True
+    statistics = {}
+    on = middleware.execute(query_onduty(), statistics=statistics, backend="sqlite")
+    assert any(key.startswith("planner.") for key in statistics)
+    assert Counter(on.rows) == Counter(off.rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(query=running_example_queries())
+def test_interval_join_matches_fallback_strategies(query):
+    """The sort-merge interval join is pinned to the nested-loop/hash result."""
+    middleware, rewritten, optimized = _plans(query)
+    with_interval = execute(optimized, middleware.database)
+    without_interval = execute(optimized, middleware.database, interval_join=False)
+    assert Counter(with_interval.rows) == Counter(without_interval.rows)

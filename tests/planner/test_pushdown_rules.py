@@ -1,0 +1,354 @@
+"""Unit tests for the planner's push-down and projection rules."""
+
+from collections import Counter
+
+import pytest
+
+from repro.algebra import (
+    AggregateSpec,
+    Aggregation,
+    Comparison,
+    Difference,
+    Join,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+    and_,
+    attr,
+    lit,
+)
+from repro.algebra.expressions import Arithmetic, ExpressionError
+from repro.engine import Database, execute
+from repro.planner import optimize
+from repro.rewriter.operators import (
+    CoalesceOperator,
+    SplitOperator,
+    TemporalAggregateOperator,
+)
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table(
+        "r",
+        ("r_id", "r_cat", "r_val", "t_begin", "t_end"),
+        [
+            (1, "a", 10, 0, 5),
+            (2, "a", 20, 3, 8),
+            (3, "b", 30, 1, 4),
+            (3, "b", 30, 1, 4),
+        ],
+    )
+    db.create_table(
+        "s",
+        ("s_id", "s_cat", "s_val", "b2", "e2"),
+        [(1, "a", 100, 2, 6), (2, "b", 200, 0, 3), (4, "a", 400, 5, 9)],
+    )
+    return db
+
+
+def bag(table):
+    return Counter(table.rows)
+
+
+def assert_equivalent(plan, optimized, database):
+    left = execute(plan, database)
+    right = execute(optimized, database)
+    assert left.schema == right.schema
+    assert bag(left) == bag(right)
+
+
+class TestDifferencePushdown:
+    def test_selection_pushed_into_both_sides_of_except_all(self, database):
+        """Regression: REWR monus plans used to block all push-down."""
+        left = Projection.of_attributes(RelationAccess("r"), "r_cat")
+        right = Projection.of_attributes(
+            Rename(RelationAccess("s"), (("s_cat", "r_cat"),)), "r_cat"
+        )
+        plan = Selection(
+            Difference(left, right), Comparison("=", attr("r_cat"), lit("a"))
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Difference)
+        # Both subtrees contain the pushed selection (at the base tables,
+        # after crossing the projections).
+        for side in (optimized.left, optimized.right):
+            assert any(isinstance(node, Selection) for node in side.walk())
+        assert_equivalent(plan, optimized, database)
+
+    def test_left_side_pushed_even_when_right_schema_unknown(self, database):
+        plan = Selection(
+            Difference(
+                Projection.of_attributes(RelationAccess("r"), "r_cat"),
+                RelationAccess("not_in_catalog"),
+            ),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Difference)
+        assert any(isinstance(node, Selection) for node in optimized.left.walk())
+        # The unresolvable right subtree is left untouched.
+        assert optimized.right == RelationAccess("not_in_catalog")
+
+
+class TestUnionPushdown:
+    def test_positional_rebinding_into_right_side(self, database):
+        plan = Selection(
+            Union(
+                Projection.of_attributes(RelationAccess("r"), "r_cat"),
+                Projection.of_attributes(RelationAccess("s"), "s_cat"),
+            ),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Union)
+        # The right-side copy was rebound to the right child's name.
+        right_selects = [
+            node for node in optimized.right.walk() if isinstance(node, Selection)
+        ]
+        assert right_selects and all(
+            "s_cat" in sel.predicate.attributes() for sel in right_selects
+        )
+        assert_equivalent(plan, optimized, database)
+
+    def test_no_pushdown_against_half_known_schema(self, database):
+        """Regression: an unresolvable right branch must block the push."""
+        plan = Selection(
+            Union(
+                Projection.of_attributes(RelationAccess("r"), "r_cat"),
+                RelationAccess("not_in_catalog"),
+            ),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        assert optimize(plan, database) == plan
+
+
+class TestRenamePushdown:
+    def test_shadowed_old_name_is_not_pushed(self, database):
+        """Regression: a conjunct on a name the rename shadows must stay put.
+
+        ``r_cat`` is renamed away (to ``category``) and not reintroduced, so
+        a selection on ``r_cat`` above the rename is an error -- pushing it
+        below would silently rebind it to the pre-rename column.
+        """
+        plan = Selection(
+            Rename(RelationAccess("r"), (("r_cat", "category"),)),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert optimized == plan
+        with pytest.raises(ExpressionError):
+            execute(optimized, database)
+
+    def test_swap_rename_is_rewritten_correctly(self, database):
+        """``a -> b, b -> a``: the old name is reintroduced, so the conjunct
+        is pushable after rewriting through the inverse mapping."""
+        plan = Selection(
+            Rename(RelationAccess("r"), (("r_cat", "r_val"), ("r_val", "r_cat"))),
+            Comparison("=", attr("r_val"), lit("a")),  # r_val now holds categories
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Rename)
+        assert_equivalent(plan, optimized, database)
+
+    def test_mixed_conjuncts_split_around_rename(self, database):
+        predicate = and_(
+            Comparison("=", attr("category"), lit("a")),  # new name: pushable
+            Comparison(">", attr("r_val"), lit(15)),  # untouched: pushable
+        )
+        plan = Selection(
+            Rename(RelationAccess("r"), (("r_cat", "category"),)), predicate
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Rename)
+        assert_equivalent(plan, optimized, database)
+
+
+class TestProjectionPushdown:
+    def test_selection_crosses_computed_projection(self, database):
+        plan = Selection(
+            Projection(
+                RelationAccess("r"),
+                ((Arithmetic("*", attr("r_val"), lit(2)), "double"),),
+            ),
+            Comparison(">", attr("double"), lit(25)),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Projection)
+        assert isinstance(optimized.child, Selection)
+        assert_equivalent(plan, optimized, database)
+
+    def test_identity_projection_eliminated(self, database):
+        plan = Projection.of_attributes(
+            RelationAccess("r"), "r_id", "r_cat", "r_val", "t_begin", "t_end"
+        )
+        assert optimize(plan, database) == RelationAccess("r")
+
+    def test_non_identity_projection_kept(self, database):
+        plan = Projection.of_attributes(RelationAccess("r"), "r_cat", "r_id")
+        assert isinstance(optimize(plan, database), Projection)
+
+
+class TestAggregationPushdown:
+    def test_group_attribute_conjunct_pushed(self, database):
+        plan = Selection(
+            Aggregation(
+                RelationAccess("r"),
+                ("r_cat",),
+                (AggregateSpec("sum", attr("r_val"), "total"),),
+            ),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Aggregation)
+        assert isinstance(optimized.child, Selection)
+        assert_equivalent(plan, optimized, database)
+
+    def test_aggregate_alias_conjunct_stays_above(self, database):
+        plan = Selection(
+            Aggregation(
+                RelationAccess("r"),
+                ("r_cat",),
+                (AggregateSpec("sum", attr("r_val"), "total"),),
+            ),
+            Comparison(">", attr("total"), lit(25)),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Selection)
+        assert_equivalent(plan, optimized, database)
+
+
+class TestJoinRules:
+    def _renamed_s(self):
+        return RelationAccess("s")
+
+    def test_cross_side_conjunct_folds_into_predicate(self, database):
+        plan = Selection(
+            Join(RelationAccess("r"), self._renamed_s(), None),
+            Comparison("=", attr("r_id"), attr("s_id")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Join)
+        assert optimized.predicate is not None
+        statistics = {}
+        result = execute(optimized, database, statistics)
+        assert statistics.get("join_strategy.hash") == 1
+        assert bag(result) == bag(execute(plan, database))
+
+    def test_overlap_conjuncts_fold_and_trigger_interval_join(self, database):
+        plan = Selection(
+            Join(RelationAccess("r"), self._renamed_s(), None),
+            and_(
+                Comparison("<", attr("t_begin"), attr("e2")),
+                Comparison("<", attr("b2"), attr("t_end")),
+            ),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Join)
+        statistics = {}
+        result = execute(optimized, database, statistics)
+        assert statistics.get("join_strategy.interval") == 1
+        assert bag(result) == bag(execute(plan, database))
+
+
+class TestExtensionOperatorPushdown:
+    def test_selection_through_coalesce(self, database):
+        plan = Selection(
+            CoalesceOperator(RelationAccess("r")),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, CoalesceOperator)
+        assert isinstance(optimized.child, Selection)
+        assert_equivalent(plan, optimized, database)
+
+    def test_period_predicate_stays_above_coalesce(self, database):
+        plan = Selection(
+            CoalesceOperator(RelationAccess("r")),
+            Comparison("<", attr("t_begin"), lit(3)),
+        )
+        assert optimize(plan, database) == plan
+
+    def test_selection_through_split_filters_both_children(self, database):
+        child = Projection.of_attributes(
+            RelationAccess("r"), "r_cat", "t_begin", "t_end"
+        )
+        plan = Selection(
+            SplitOperator(child, child, ("r_cat",)),
+            Comparison("=", attr("r_cat"), lit("a")),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, SplitOperator)
+        assert any(isinstance(n, Selection) for n in optimized.left.walk())
+        assert any(isinstance(n, Selection) for n in optimized.right.walk())
+        assert_equivalent(plan, optimized, database)
+
+    def test_selection_through_temporal_aggregate(self, database):
+        agg = TemporalAggregateOperator(
+            RelationAccess("r"),
+            ("r_cat",),
+            (AggregateSpec("sum", attr("r_val"), "total"),),
+        )
+        plan = Selection(agg, Comparison("=", attr("r_cat"), lit("a")))
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, TemporalAggregateOperator)
+        assert isinstance(optimized.child, Selection)
+        assert_equivalent(plan, optimized, database)
+
+    def test_nothing_moves_below_ungrouped_temporal_aggregate(self, database):
+        agg = TemporalAggregateOperator(
+            RelationAccess("r"),
+            (),
+            (AggregateSpec("count", attr("r_id"), "cnt"),),
+        )
+        plan = Selection(agg, Comparison(">", attr("cnt"), lit(0)))
+        assert optimize(plan, database) == plan
+
+    def test_permutation_projection_through_coalesce(self, database):
+        plan = Projection.of_attributes(
+            CoalesceOperator(RelationAccess("r")),
+            "r_cat",
+            "r_val",
+            "r_id",
+            "t_begin",
+            "t_end",
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, CoalesceOperator)
+        assert_equivalent(plan, optimized, database)
+
+    def test_narrowing_projection_stays_above_coalesce(self, database):
+        # Dropping a data attribute would change the coalesce partitioning.
+        plan = Projection.of_attributes(
+            CoalesceOperator(RelationAccess("r")), "r_cat", "t_begin", "t_end"
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Projection)
+        assert isinstance(optimized.child, CoalesceOperator)
+
+    def test_narrowing_projection_through_split(self, database):
+        split = SplitOperator(RelationAccess("r"), RelationAccess("r"), ("r_cat",))
+        plan = Projection.of_attributes(split, "r_cat", "t_begin", "t_end")
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, SplitOperator)
+        assert isinstance(optimized.left, Projection)
+        assert_equivalent(plan, optimized, database)
+
+    def test_period_copy_projection_stays_above_split(self, database):
+        # ``t_begin AS orig`` must not sink: it would freeze pre-split values.
+        split = SplitOperator(RelationAccess("r"), RelationAccess("r"), ("r_cat",))
+        plan = Projection(
+            split,
+            (
+                (attr("r_cat"), "r_cat"),
+                (attr("t_begin"), "orig"),
+                (attr("t_begin"), "t_begin"),
+                (attr("t_end"), "t_end"),
+            ),
+        )
+        optimized = optimize(plan, database)
+        assert isinstance(optimized, Projection)
+        assert isinstance(optimized.child, SplitOperator)

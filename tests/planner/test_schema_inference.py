@@ -1,0 +1,152 @@
+"""Unit tests for static schema inference (repro.planner.schema)."""
+
+import pytest
+
+from repro.algebra import (
+    AggregateSpec,
+    Aggregation,
+    Comparison,
+    ConstantRelation,
+    Difference,
+    Distinct,
+    Join,
+    Projection,
+    RelationAccess,
+    Rename,
+    Selection,
+    Union,
+    attr,
+    lit,
+)
+from repro.engine import Database
+from repro.planner import available_attributes, infer_schema
+from repro.rewriter.operators import (
+    CoalesceOperator,
+    SplitOperator,
+    TemporalAggregateOperator,
+)
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table("r", ("r_id", "r_cat", "t_begin", "t_end"), [])
+    db.create_table("s", ("s_id", "s_val", "t_begin", "t_end"), [])
+    return db
+
+
+class TestCoreOperators:
+    def test_relation_access(self, database):
+        assert infer_schema(RelationAccess("r"), database) == (
+            "r_id",
+            "r_cat",
+            "t_begin",
+            "t_end",
+        )
+        assert infer_schema(RelationAccess("r"), None) is None
+        assert infer_schema(RelationAccess("missing"), database) is None
+
+    def test_constant_projection_rename(self, database):
+        assert infer_schema(ConstantRelation(("x", "y"), ())) == ("x", "y")
+        plan = Projection.of_attributes(RelationAccess("r"), "r_cat", "r_id")
+        assert infer_schema(plan, database) == ("r_cat", "r_id")
+        renamed = Rename(RelationAccess("r"), (("r_cat", "category"),))
+        assert infer_schema(renamed, database) == (
+            "r_id",
+            "category",
+            "t_begin",
+            "t_end",
+        )
+
+    def test_selection_distinct_join(self, database):
+        plan = Selection(RelationAccess("r"), Comparison("=", attr("r_cat"), lit("a")))
+        assert infer_schema(plan, database) == ("r_id", "r_cat", "t_begin", "t_end")
+        assert infer_schema(Distinct(plan), database) == (
+            "r_id",
+            "r_cat",
+            "t_begin",
+            "t_end",
+        )
+        r2 = Rename(
+            RelationAccess("s"), (("t_begin", "b2"), ("t_end", "e2"))
+        )
+        join = Join(RelationAccess("r"), r2, None)
+        assert infer_schema(join, database) == (
+            "r_id",
+            "r_cat",
+            "t_begin",
+            "t_end",
+            "s_id",
+            "s_val",
+            "b2",
+            "e2",
+        )
+
+    def test_aggregation(self, database):
+        plan = Aggregation(
+            RelationAccess("r"),
+            ("r_cat",),
+            (AggregateSpec("count", None, "cnt"),),
+        )
+        assert infer_schema(plan, database) == ("r_cat", "cnt")
+
+
+class TestSetOperatorSchemas:
+    def test_union_requires_both_sides(self, database):
+        """Regression: a half-known schema must not be trusted.
+
+        ``available_attributes`` used to return the left child's schema for
+        Union/Difference without looking at the right subtree; push-down
+        decisions were then made against a half-known schema.
+        """
+        known = Projection.of_attributes(RelationAccess("r"), "r_cat")
+        catalogless = RelationAccess("not_in_catalog")
+        assert infer_schema(Union(known, catalogless), database) is None
+        assert available_attributes(Union(known, catalogless), database) is None
+        assert infer_schema(Difference(known, catalogless), database) is None
+        assert available_attributes(Difference(known, catalogless), database) is None
+
+    def test_union_resolves_when_both_sides_known(self, database):
+        left = Projection.of_attributes(RelationAccess("r"), "r_cat")
+        right = Projection.of_attributes(RelationAccess("s"), "s_val")
+        assert infer_schema(Union(left, right), database) == ("r_cat",)
+        assert infer_schema(Difference(left, right), database) == ("r_cat",)
+
+    def test_incompatible_arities_are_unresolvable(self, database):
+        left = Projection.of_attributes(RelationAccess("r"), "r_cat")
+        right = Projection.of_attributes(RelationAccess("s"), "s_id", "s_val")
+        assert infer_schema(Union(left, right), database) is None
+
+
+class TestExtensionOperatorSchemas:
+    def test_coalesce(self, database):
+        plan = CoalesceOperator(RelationAccess("r"))
+        assert infer_schema(plan, database) == ("r_id", "r_cat", "t_begin", "t_end")
+        assert infer_schema(plan, None) is None
+
+    def test_coalesce_missing_period_attributes(self, database):
+        database.create_table("plain", ("a", "b"), [])
+        assert infer_schema(CoalesceOperator(RelationAccess("plain")), database) is None
+
+    def test_split(self, database):
+        plan = SplitOperator(RelationAccess("r"), RelationAccess("s"), ("r_cat",))
+        assert infer_schema(plan, database) == ("r_id", "r_cat", "t_begin", "t_end")
+        assert infer_schema(
+            SplitOperator(RelationAccess("missing"), RelationAccess("s"), ()),
+            database,
+        ) is None
+
+    def test_temporal_aggregate(self, database):
+        plan = TemporalAggregateOperator(
+            RelationAccess("r"),
+            ("r_cat",),
+            (AggregateSpec("count", attr("r_id"), "cnt"),),
+        )
+        assert infer_schema(plan, database) == ("r_cat", "cnt", "t_begin", "t_end")
+
+    def test_nested_extension_operators(self, database):
+        """Schemas thread through stacked extension operators."""
+        plan = CoalesceOperator(
+            SplitOperator(RelationAccess("r"), RelationAccess("r"), ("r_cat",))
+        )
+        assert infer_schema(plan, database) == ("r_id", "r_cat", "t_begin", "t_end")

@@ -231,3 +231,89 @@ def queries(max_depth: int = 3):
     distinct = normalised_r.map(Distinct)
 
     return st.one_of(normalised_r, normalised_s, binary, join, aggregation, distinct)
+
+
+# -- random snapshot queries over the running example (works / assign) -----------------------
+
+
+def running_example_queries():
+    """Random RA^agg snapshot plans over the running-example catalog.
+
+    Used by the planner differential tests: rewritten (REWR) versions of
+    these plans exercise every push-down rule -- selections above joins,
+    renames with and without shadowing, bag difference over splits, grouped
+    and ungrouped aggregation -- plus the executor's interval join (every
+    rewritten join carries the overlap predicate).
+    """
+    works = RelationAccess("works")
+    assign = RelationAccess("assign")
+
+    works_selected = st.sampled_from(
+        [
+            works,
+            Selection(works, Comparison("=", attr("skill"), lit("SP"))),
+            Selection(works, Comparison("!=", attr("name"), lit("Ann"))),
+        ]
+    )
+    assign_selected = st.sampled_from(
+        [
+            assign,
+            Selection(assign, Comparison("=", attr("req_skill"), lit("NS"))),
+        ]
+    )
+
+    def join_on_skill(pair):
+        left, right = pair
+        return Projection.of_attributes(
+            Join(left, right, Comparison("=", attr("skill"), attr("req_skill"))),
+            "name",
+            "mach",
+        )
+
+    join = st.tuples(works_selected, assign_selected).map(join_on_skill)
+
+    skills_available = Projection.of_attributes(works, "skill")
+    skills_required = Rename(
+        Projection.of_attributes(assign, "req_skill"), (("req_skill", "skill"),)
+    )
+    binary = st.sampled_from(
+        [
+            Union(skills_required, skills_available),
+            Difference(skills_required, skills_available),
+            Difference(skills_available, skills_required),
+            Selection(
+                Difference(skills_required, skills_available),
+                Comparison("=", attr("skill"), lit("SP")),
+            ),
+        ]
+    )
+
+    aggregation = st.sampled_from(
+        [
+            Aggregation(
+                Selection(works, Comparison("=", attr("skill"), lit("SP"))),
+                (),
+                (AggregateSpec("count", None, "cnt"),),
+            ),
+            Aggregation(works, ("skill",), (AggregateSpec("count", None, "cnt"),)),
+            Selection(
+                Aggregation(
+                    works, ("skill",), (AggregateSpec("count", None, "cnt"),)
+                ),
+                Comparison("=", attr("skill"), lit("SP")),
+            ),
+        ]
+    )
+
+    distinct = st.sampled_from(
+        [Distinct(skills_available), Distinct(skills_required)]
+    )
+
+    def select_above(query):
+        # A selection above an arbitrary sub-plan: pushed through whatever
+        # the sub-plan's rewritten form turns out to be.
+        return Selection(query, Comparison("=", attr("skill"), lit("SP")))
+
+    selected_binary = binary.map(select_above)
+
+    return st.one_of(join, binary, selected_binary, aggregation, distinct)
