@@ -13,15 +13,23 @@ track across PRs and appends the timings to a JSON ledger:
 * **overlap join** -- a microbenchmark of the executor's sort-merge
   interval join against the nested-loop fallback it replaced: a pure
   interval-overlap theta join (no equality conjunct, so the fallback is a
-  full nested loop) over two synthetic interval tables.
+  full nested loop) over two synthetic interval tables;
+* **generator scaling** -- a grouped temporal aggregation over
+  heavy-overlap (``chained``) catalogs from the synthetic workload
+  generator (:mod:`repro.datasets.generator`) at increasing row counts:
+  the scaling column every conformance-covered future optimisation is
+  measured against.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py --label seed
     PYTHONPATH=src python benchmarks/record.py --label pr1
 
+``--seed`` overrides every dataset generator seed (and is recorded in the
+ledger entry), so any recorded run can be reproduced bit for bit.
+
 Each invocation merges its results under ``--label`` into ``--output``
-(default ``BENCH_pr3.json`` at the repo root) and, when at least two labels
+(default ``BENCH_pr4.json`` at the repo root) and, when at least two labels
 are present, reports the speedup of the newest label over the oldest so the
 perf trajectory is visible from the ledger alone.
 
@@ -39,16 +47,18 @@ import sys
 import time
 import traceback
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.algebra import Comparison, Join, RelationAccess, and_, attr
+from repro.algebra.operators import AggregateSpec, Aggregation, Projection
 from repro.backends import SQLiteBackend
 from repro.datasets.employees import EmployeesConfig, generate_employees
+from repro.datasets.generator import GeneratorConfig, generate_catalog
 from repro.datasets.workloads import EMPLOYEE_WORKLOAD
 from repro.engine import Database
 from repro.engine.executor import execute as engine_execute
-from repro.experiments.figure5 import run_figure5
 from repro.rewriter.middleware import SnapshotMiddleware
+from repro.experiments.figure5 import run_figure5
 
 #: Default scales; chosen to match benchmarks/conftest.py defaults.
 FIGURE5_SIZES: Sequence[int] = (1_000, 5_000, 20_000)
@@ -57,10 +67,19 @@ EMPLOYEE_SCALE = 0.1
 #: Rows per side of the overlap-join microbenchmark (Table-3 order of
 #: magnitude: the scale-0.1 Employee tables hold a few thousand rows).
 OVERLAP_JOIN_ROWS = 2_000
+#: Row counts of the generator-driven scaling workload.
+GENERATOR_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
 
 
-def time_figure5(sizes: Sequence[int], repetitions: int) -> List[Dict[str, object]]:
-    results = run_figure5(sizes=sizes, months=FIGURE5_MONTHS, repetitions=repetitions)
+def time_figure5(
+    sizes: Sequence[int], repetitions: int, seed: Optional[int]
+) -> List[Dict[str, object]]:
+    results = run_figure5(
+        sizes=sizes,
+        months=FIGURE5_MONTHS,
+        repetitions=repetitions,
+        **({} if seed is None else {"seed": seed}),
+    )
     return [
         {
             "input_rows": row["input_rows"],
@@ -81,8 +100,14 @@ def _best_of(action, repetitions: int) -> float:
     return best
 
 
-def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
-    config = EmployeesConfig(scale=scale)
+def time_table3_employee(
+    scale: float, repetitions: int, seed: Optional[int]
+) -> Dict[str, object]:
+    config = (
+        EmployeesConfig(scale=scale)
+        if seed is None
+        else EmployeesConfig(scale=scale, seed=seed)
+    )
     database = generate_employees(config)
     middleware = SnapshotMiddleware(config.domain, database=database)
     # The middleware already optimizes rewritten plans; the session backend
@@ -108,11 +133,13 @@ def time_table3_employee(scale: float, repetitions: int) -> Dict[str, object]:
     }
 
 
-def time_overlap_join(rows: int, repetitions: int) -> Dict[str, object]:
+def time_overlap_join(
+    rows: int, repetitions: int, seed: Optional[int]
+) -> Dict[str, object]:
     """Interval join vs. nested-loop fallback on a pure overlap theta join."""
     import random
 
-    rng = random.Random(7)
+    rng = random.Random(7 if seed is None else seed)
 
     def intervals(count: int, prefix: str):
         out = []
@@ -162,6 +189,53 @@ def time_overlap_join(rows: int, repetitions: int) -> Dict[str, object]:
     }
 
 
+def time_generator_scaling(
+    sizes: Sequence[int], repetitions: int, seed: Optional[int]
+) -> List[Dict[str, object]]:
+    """Grouped temporal aggregation over heavy-overlap generated catalogs.
+
+    The ``chained`` profile maximises overlap, so the rewritten plan's
+    pre-aggregation + segmentation sweep and the final coalesce dominate --
+    the pipeline the conformance sweeps certify and future scale PRs need a
+    trajectory for.
+    """
+    results: List[Dict[str, object]] = []
+    for rows in sizes:
+        config = GeneratorConfig(
+            rows=rows,
+            domain_size=256,
+            seed=17 if seed is None else seed,
+            interval_profile="chained",
+            duplicate_rate=0.2,
+            groups=16,
+            values=32,
+            keys=32,
+        )
+        database = generate_catalog(config)
+        middleware = SnapshotMiddleware(config.domain, database=database)
+        query = Aggregation(
+            Projection(
+                RelationAccess("R"),
+                ((attr("r_cat"), "cat"), (attr("r_val"), "val")),
+            ),
+            ("cat",),
+            (
+                AggregateSpec("count", None, "cnt"),
+                AggregateSpec("sum", attr("val"), "total"),
+            ),
+        )
+        output_rows: Dict[str, int] = {}
+
+        def run() -> None:
+            output_rows["n"] = len(middleware.execute(query))
+
+        seconds = _best_of(run, repetitions)
+        results.append(
+            {"rows": rows, "output_rows": output_rows["n"], "seconds": seconds}
+        )
+    return results
+
+
 def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     """Speedup of the newest label over the oldest (by recording order)."""
     labels = [k for k in ledger if k != "speedup_newest_vs_oldest"]
@@ -191,6 +265,17 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     new_overlap = new.get("overlap_join", {}).get("interval_seconds")
     if base_overlap is not None and new_overlap:
         summary["overlap_join_interval"] = round(base_overlap / new_overlap, 2)
+    # The generator scaling column only exists from PR 4 on.
+    base_generator = {
+        r["rows"]: r["seconds"] for r in base.get("generator_scaling", ())
+    }
+    summary_generator = {
+        str(r["rows"]): round(base_generator[r["rows"]] / r["seconds"], 2)
+        for r in new.get("generator_scaling", ())
+        if r["rows"] in base_generator and r["seconds"] > 0
+    }
+    if summary_generator:
+        summary["generator_scaling"] = summary_generator
     return summary
 
 
@@ -199,7 +284,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr4.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -207,17 +292,34 @@ def main() -> int:
     )
     parser.add_argument("--employee-scale", type=float, default=EMPLOYEE_SCALE)
     parser.add_argument("--overlap-rows", type=int, default=OVERLAP_JOIN_ROWS)
+    parser.add_argument(
+        "--generator-sizes", type=int, nargs="+", default=list(GENERATOR_SIZES)
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "Override every workload generator seed (recorded in the ledger "
+            "entry); default: each workload's baked-in seed."
+        ),
+    )
     args = parser.parse_args()
 
     entry: Dict[str, object] = {"recorded_platform": platform.python_version()}
+    if args.seed is not None:
+        entry["seed"] = args.seed
     errors: Dict[str, str] = {}
     workloads = {
-        "figure5": lambda: time_figure5(args.sizes, args.repetitions),
+        "figure5": lambda: time_figure5(args.sizes, args.repetitions, args.seed),
         "table3_employee": lambda: time_table3_employee(
-            args.employee_scale, args.repetitions
+            args.employee_scale, args.repetitions, args.seed
         ),
         "overlap_join": lambda: time_overlap_join(
-            args.overlap_rows, args.repetitions
+            args.overlap_rows, args.repetitions, args.seed
+        ),
+        "generator_scaling": lambda: time_generator_scaling(
+            args.generator_sizes, args.repetitions, args.seed
         ),
     }
     for name, workload in workloads.items():

@@ -18,7 +18,12 @@ Relations*, PVLDB 12(6), 2019:
   engine or real SQL via sqlite3;
 * **baselines, datasets, experiments** -- everything needed to re-run the
   paper's evaluation (:mod:`repro.baselines`, :mod:`repro.datasets`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`), plus a deterministic synthetic temporal
+  workload generator (:mod:`repro.datasets.generator`);
+* **conformance** -- systematic enforcement of snapshot-reducibility
+  (:mod:`repro.conformance`): every execution configuration checked against
+  the abstract-model oracle at every input changepoint, violations shrunk
+  to minimized counterexamples.
 
 Quickstart::
 
@@ -52,6 +57,13 @@ from .backends import (
     available_backends,
     resolve_backend,
 )
+from .conformance import (
+    ConformanceError,
+    ConformanceReport,
+    Counterexample,
+    assert_conformant,
+    check_conformance,
+)
 from .engine import Database, Table
 from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
 from .rewriter import SnapshotMiddleware
@@ -84,4 +96,9 @@ __all__ = [
     "SQLiteBackend",
     "available_backends",
     "resolve_backend",
+    "ConformanceError",
+    "ConformanceReport",
+    "Counterexample",
+    "assert_conformant",
+    "check_conformance",
 ]

@@ -2,7 +2,12 @@
 
 from .evaluator import evaluate
 from .krelation import KRelation, aggregate_rows, aggregate_values
-from .snapshot import SnapshotDatabase, SnapshotKRelation, evaluate_snapshot_query
+from .snapshot import (
+    SnapshotDatabase,
+    SnapshotKRelation,
+    evaluate_snapshot_query,
+    evaluate_snapshot_query_at,
+)
 
 __all__ = [
     "KRelation",
@@ -12,4 +17,5 @@ __all__ = [
     "SnapshotKRelation",
     "SnapshotDatabase",
     "evaluate_snapshot_query",
+    "evaluate_snapshot_query_at",
 ]

@@ -79,12 +79,55 @@ def sql_literal(value: Any) -> str:
     if isinstance(value, float):
         if math.isnan(value) or math.isinf(value):
             raise SQLPrintError(f"non-finite float {value!r} has no SQL literal")
-        return repr(value)
+        return _float_sql(value)
     if isinstance(value, str):
         if "\x00" in value:
             raise SQLPrintError("NUL characters cannot be embedded in SQL text")
         return "'" + value.replace("'", "''") + "'"
     raise SQLPrintError(f"cannot render {type(value).__name__} value {value!r} as SQL")
+
+
+def _float_sql(value: float) -> str:
+    """A SQL expression that evaluates to exactly ``value`` on the host.
+
+    ``repr`` is only safe when the host's text-to-float conversion is a
+    single correctly-rounded operation: decimal significand exact in a
+    double (<= 15 digits) times a power of ten that is itself exact
+    (``10**21`` is the largest).  SQLite's parser falls outside that window
+    for extreme exponents -- observed 1-ulp errors from ``1e-18`` down and
+    out to the subnormal range -- so everything else is printed as an exact
+    power-of-two decomposition ``m * 2**e`` (integer significand, scaled by
+    exact power-of-two factors; every intermediate product/quotient is
+    representable, hence exact).  The differential tests pin host results to
+    the in-memory engine value-for-value, so literal fidelity is part of the
+    backend contract.
+    """
+    mantissa_text = repr(abs(value))
+    decimal_digits, _, exponent_text = mantissa_text.partition("e")
+    fraction_digits = (
+        len(decimal_digits.partition(".")[2]) if "." in decimal_digits else 0
+    )
+    scale = int(exponent_text or 0) - fraction_digits
+    significant = decimal_digits.replace(".", "").strip("0") or "0"
+    if len(significant) <= 15 and -21 <= scale <= 21:
+        return repr(value)
+
+    sign = "-" if math.copysign(1.0, value) < 0 else ""
+    mant, exp = math.frexp(abs(value))
+    m = int(mant * (1 << 53))
+    e = exp - 53
+    parts = [f"{m}.0"]
+    while e >= 53:
+        parts.append("* 9007199254740992.0")
+        e -= 53
+    while e <= -53:
+        parts.append("/ 9007199254740992.0")
+        e += 53
+    if e > 0:
+        parts.append(f"* {float(1 << e)!r}")
+    elif e < 0:
+        parts.append(f"/ {float(1 << -e)!r}")
+    return f"({sign}{' '.join(parts)})"
 
 
 #: Comparison operators; everything but ``!=`` prints as itself.

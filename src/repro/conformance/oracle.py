@@ -1,0 +1,130 @@
+"""The per-point snapshot oracle over physical period tables.
+
+Snapshot-reducibility (the paper's Definition 4.4 / Theorem 8.1) pins down
+what a rewritten plan must compute: slicing its result at any time point
+``t`` has to equal evaluating the original non-temporal query over the
+``t``-snapshot of the inputs.  This module provides the right-hand side of
+that equation directly on engine catalogs -- timeslice the referenced
+period tables into plain K-relations, then run the abstract-model
+interpreter -- without materialising a full
+:class:`~repro.abstract_model.snapshot.SnapshotDatabase` (which is linear
+in ``|T|`` per relation and would dominate large sweeps).
+
+Rows whose period end points are NULL or degenerate (``begin >= end``) hold
+at no snapshot, mirroring the SQL three-valued semantics both execution
+backends apply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..abstract_model.evaluator import evaluate
+from ..abstract_model.krelation import KRelation
+from ..algebra.operators import Operator, RelationAccess
+from ..engine.catalog import DEFAULT_PERIOD, Database
+from ..engine.table import Table
+from ..semirings.standard import NATURAL
+from ..temporal.timedomain import TimeDomain
+
+__all__ = [
+    "referenced_tables",
+    "timeslice_table",
+    "snapshot_inputs",
+    "oracle_at",
+    "distinct_time_points",
+]
+
+
+def referenced_tables(plan: Operator, database: Database) -> Tuple[str, ...]:
+    """The catalog tables a plan reads, in first-reference order."""
+    names: List[str] = []
+    for node in plan.walk():
+        if isinstance(node, RelationAccess) and node.name in database:
+            if node.name not in names:
+                names.append(node.name)
+    return tuple(names)
+
+
+def _period_of(table: Table, database: Database) -> Tuple[str, str]:
+    return database.period_of(table.name) or DEFAULT_PERIOD
+
+
+def timeslice_table(
+    table: Table, period: Tuple[str, str], point: int
+) -> KRelation:
+    """``tau_T`` of a physical period table: the N-relation valid at ``point``.
+
+    Each physical row contributes multiplicity 1 while
+    ``begin <= point < end``; NULL end points never hold (SQL comparison
+    semantics).
+    """
+    begin_index = table.column_index(period[0])
+    end_index = table.column_index(period[1])
+    data_indexes = [
+        i for i, attribute in enumerate(table.schema) if attribute not in period
+    ]
+    schema = tuple(table.schema[i] for i in data_indexes)
+    relation = KRelation(NATURAL, schema)
+    for row in table.rows:
+        begin, end = row[begin_index], row[end_index]
+        if begin is None or end is None or not (begin <= point < end):
+            continue
+        relation.add(tuple(row[i] for i in data_indexes), 1)
+    return relation
+
+
+def snapshot_inputs(
+    database: Database, names: Iterable[str], point: int
+) -> Dict[str, KRelation]:
+    """The non-temporal K-database of the named tables at ``point``."""
+    return {
+        name: timeslice_table(
+            database.table(name), _period_of(database.table(name), database), point
+        )
+        for name in names
+    }
+
+
+def oracle_at(
+    query: Operator, database: Database, domain: TimeDomain, point: int
+) -> KRelation:
+    """``Q(tau_T(D))``: the snapshot oracle for one plan at one point."""
+    domain.validate_point(point)
+    names = referenced_tables(query, database)
+    return evaluate(query, snapshot_inputs(database, names, point), NATURAL)
+
+
+def distinct_time_points(
+    database: Database,
+    names: Iterable[str],
+    domain: TimeDomain,
+    limit: Optional[int] = None,
+    seed: int = 0,
+) -> List[int]:
+    """The time points at which the inputs (hence any result) can change.
+
+    The snapshot of a period table is constant between consecutive interval
+    end points, so checking conformance at ``Tmin`` plus every in-domain
+    begin/end value of every input row covers one representative per
+    maximal constant segment -- checking *every* point of the domain would
+    add nothing.  ``limit`` samples (seeded, always keeping ``Tmin``) when
+    adversarial inputs produce more changepoints than a sweep budget allows.
+    """
+    points = {domain.min_point}
+    for name in names:
+        table = database.table(name)
+        period = _period_of(table, database)
+        begin_index = table.column_index(period[0])
+        end_index = table.column_index(period[1])
+        for row in table.rows:
+            for value in (row[begin_index], row[end_index]):
+                if value is not None and value in domain:
+                    points.add(value)
+    ordered = sorted(points)
+    if limit is not None and len(ordered) > limit:
+        rng = random.Random(f"{seed}/{len(ordered)}")
+        sampled = rng.sample(ordered[1:], limit - 1) if limit > 1 else []
+        ordered = sorted({domain.min_point, *sampled})
+    return ordered

@@ -1,6 +1,13 @@
 """Datasets and workloads: running example, synthetic Employees, synthetic TPC-BiH."""
 
 from .employees import EMPLOYEE_TABLES, EmployeesConfig, generate_employees
+from .generator import (
+    INTERVAL_PROFILES,
+    GeneratorConfig,
+    generate_catalog,
+    generate_rows,
+    generate_table,
+)
 from .running_example import (
     ASSIGN_ROWS,
     EXPECTED_ONDUTY,
@@ -33,6 +40,11 @@ __all__ = [
     "query_skillreq",
     "EmployeesConfig",
     "generate_employees",
+    "GeneratorConfig",
+    "INTERVAL_PROFILES",
+    "generate_catalog",
+    "generate_rows",
+    "generate_table",
     "EMPLOYEE_TABLES",
     "TPCBiHConfig",
     "generate_tpcbih",

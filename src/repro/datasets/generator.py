@@ -1,0 +1,217 @@
+"""Deterministic, scalable synthetic temporal workload generator.
+
+The paper's datasets (running example, Employees, TPC-BiH) pin the repo to a
+handful of fixed shapes.  The conformance harness (:mod:`repro.conformance`)
+and the scaling benchmarks need the opposite: *parameterised* period
+relations whose size, interval statistics and adversarial features are
+dialled in per experiment, reproducibly.  This module generates such
+relations from a seeded RNG:
+
+* **row count** and **time-domain size** scale freely;
+* **interval profiles** control length/overlap distributions -- ``uniform``,
+  ``short``, ``long``, ``chained`` (heavy-overlap chains: every interval
+  overlaps its predecessors, the worst case for coalescing and the interval
+  join), ``point`` (degenerate ``begin == end`` intervals) and ``mixed``;
+* **duplicate multiplicity** re-emits earlier rows verbatim, producing the
+  per-snapshot multiplicities bag semantics must preserve;
+* **NULL rates** inject SQL NULLs into data attributes and (adversarially)
+  into period end points;
+* **group cardinalities** bound the distinct category/value universes, which
+  drives grouped aggregation and join fan-out.
+
+Every relation uses the three-attribute shape of ``tests/strategies.py``
+(``<p>_key``, ``<p>_cat``, ``<p>_val`` plus the canonical period attributes)
+so generated catalogs plug directly into the random-plan strategies.  The
+catalogs are ordinary engine :class:`~repro.engine.catalog.Database`
+instances; :func:`repro.datasets.sqlite_loader.load_database` (or the
+one-shot SQLite backend) loads them into a real DBMS unchanged, so both
+execution backends see identical inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..engine.catalog import Database
+from ..engine.table import Table
+from ..rewriter.periodenc import T_BEGIN, T_END
+from ..temporal.timedomain import TimeDomain
+
+__all__ = [
+    "INTERVAL_PROFILES",
+    "GeneratorConfig",
+    "generate_rows",
+    "generate_table",
+    "generate_catalog",
+]
+
+#: Supported interval length/overlap distributions.
+INTERVAL_PROFILES: Tuple[str, ...] = (
+    "uniform",
+    "short",
+    "long",
+    "chained",
+    "point",
+    "mixed",
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic period-relation generator.
+
+    The defaults produce a small, benign relation; every adversarial feature
+    is opt-in so conformance sweeps can dial in exactly the shapes a case
+    targets.  Two configs with equal fields generate identical rows.
+    """
+
+    rows: int = 50
+    domain_size: int = 32
+    seed: int = 0
+    #: One of :data:`INTERVAL_PROFILES`.
+    interval_profile: str = "uniform"
+    #: Probability that a row is an exact duplicate of an earlier row
+    #: (multiplicity > 1 per snapshot).
+    duplicate_rate: float = 0.0
+    #: Probability that a data attribute value is NULL (``cat``/``val``; the
+    #: key stays non-NULL so equi-joins keep matching rows).
+    null_rate: float = 0.0
+    #: Probability that a period end point is NULL (adversarial: such rows
+    #: hold at no snapshot under SQL three-valued comparison semantics).
+    null_endpoint_rate: float = 0.0
+    #: Probability that an interval is degenerate (``begin == end``).
+    degenerate_rate: float = 0.0
+    #: Distinct values of the ``cat`` attribute (group-by cardinality).
+    groups: int = 4
+    #: Distinct values of the integer ``val`` attribute.
+    values: int = 8
+    #: Distinct values of the ``key`` attribute (join fan-out).
+    keys: int = 6
+
+    def __post_init__(self) -> None:
+        if self.interval_profile not in INTERVAL_PROFILES:
+            raise ValueError(
+                f"unknown interval profile {self.interval_profile!r}; "
+                f"expected one of {INTERVAL_PROFILES}"
+            )
+        if self.rows < 0:
+            raise ValueError(f"negative row count {self.rows}")
+        if self.domain_size < 1:
+            raise ValueError(f"empty time domain (size {self.domain_size})")
+
+    @property
+    def domain(self) -> TimeDomain:
+        return TimeDomain(0, self.domain_size)
+
+    def scaled(self, rows: int) -> "GeneratorConfig":
+        """The same workload shape at a different row count."""
+        return replace(self, rows=rows)
+
+
+def _interval(
+    rng: random.Random, config: GeneratorConfig, previous: Optional[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """One (begin, end) pair according to the configured profile."""
+    top = config.domain_size
+    profile = config.interval_profile
+    if profile == "mixed":
+        profile = rng.choice(("uniform", "short", "long", "chained", "point"))
+    if profile == "point":
+        begin = rng.randrange(0, top)
+        return begin, begin
+    if profile == "chained" and previous is not None:
+        # Heavy-overlap chain: start a small step after the previous begin
+        # with a length well beyond the step, so long runs of rows mutually
+        # overlap (quadratic output for the overlap join, maximal
+        # changepoint density for coalesce/split).  Domains too small for a
+        # real chain (top <= low) just span the whole domain.
+        begin = min(top - 1, previous[0] + rng.randrange(0, 2))
+        low = max(2, top // 4)
+        length = rng.randrange(low, top) if top > low else top
+    elif profile == "short":
+        begin = rng.randrange(0, top)
+        length = rng.randrange(1, min(4, top + 1))
+    elif profile == "long":
+        begin = rng.randrange(0, top)
+        length = rng.randrange(max(1, top // 2), top + 1)
+    else:  # uniform (and the first row of a chain)
+        begin = rng.randrange(0, top)
+        length = rng.randrange(1, top + 1)
+    return begin, min(top, begin + length)
+
+
+def generate_rows(
+    config: GeneratorConfig, prefix: str = "r"
+) -> List[Tuple[object, ...]]:
+    """Rows ``(key, cat, val, begin, end)`` for one synthetic period relation.
+
+    Deterministic in ``config`` (including the seed) and ``prefix``; the
+    prefix feeds the RNG so the R and S sides of a catalog differ even under
+    one seed.
+    """
+    rng = random.Random(f"{config.seed}/{prefix}/{config.rows}")
+    rows: List[Tuple[object, ...]] = []
+    previous: Optional[Tuple[int, int]] = None
+    for _ in range(config.rows):
+        if rows and rng.random() < config.duplicate_rate:
+            rows.append(rows[rng.randrange(len(rows))])
+            continue
+        begin, end = _interval(rng, config, previous)
+        previous = (begin, end)
+        if rng.random() < config.degenerate_rate:
+            end = begin
+        key: object = f"k{rng.randrange(config.keys)}"
+        cat: object = f"g{rng.randrange(config.groups)}"
+        val: object = rng.randrange(config.values)
+        if config.null_rate:
+            if rng.random() < config.null_rate:
+                cat = None
+            if rng.random() < config.null_rate:
+                val = None
+        out_begin: object = begin
+        out_end: object = end
+        if config.null_endpoint_rate:
+            if rng.random() < config.null_endpoint_rate:
+                out_begin = None
+            if rng.random() < config.null_endpoint_rate:
+                out_end = None
+        rows.append((key, cat, val, out_begin, out_end))
+    return rows
+
+
+def generate_table(
+    name: str, config: GeneratorConfig, prefix: Optional[str] = None
+) -> Table:
+    """A standalone period :class:`Table` with the canonical schema.
+
+    The schema is ``(<p>_key, <p>_cat, <p>_val, t_begin, t_end)`` where
+    ``<p>`` defaults to the table name.
+    """
+    prefix = prefix if prefix is not None else name
+    schema = (f"{prefix}_key", f"{prefix}_cat", f"{prefix}_val", T_BEGIN, T_END)
+    return Table(name, schema, generate_rows(config, prefix))
+
+
+def generate_catalog(
+    config: GeneratorConfig,
+    config_s: Optional[GeneratorConfig] = None,
+    database: Optional[Database] = None,
+) -> Database:
+    """A two-relation catalog ``R`` / ``S`` matching ``tests/strategies.py``.
+
+    ``R`` has schema ``(r_key, r_cat, r_val, t_begin, t_end)`` and ``S``
+    ``(s_key, s_cat, s_val, t_begin, t_end)``, both registered with period
+    metadata, so every random plan of the property-test strategies runs over
+    generated data unchanged.  ``config_s`` overrides the S side (defaults
+    to the R config; the RNG prefix already decorrelates the two sides).
+    """
+    database = database if database is not None else Database()
+    for name, prefix, table_config in (
+        ("R", "r", config),
+        ("S", "s", config_s if config_s is not None else config),
+    ):
+        table = generate_table(name, table_config, prefix)
+        database.register(table, period=(T_BEGIN, T_END))
+    return database

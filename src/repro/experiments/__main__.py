@@ -48,6 +48,15 @@ def main(argv: List[str] | None = None) -> int:
         default=[1_000, 5_000, 10_000, 30_000],
         help="Input sizes (rows) for the coalescing scaling experiment.",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "Override every dataset generator seed, making the run "
+            "reproducible end to end (default: each dataset's baked-in seed)."
+        ),
+    )
     args = parser.parse_args(argv)
     experiments = args.experiments or list(ALL_EXPERIMENTS)
 
@@ -55,13 +64,28 @@ def main(argv: List[str] | None = None) -> int:
         if experiment == "table1":
             print(format_table1(run_table1()))
         elif experiment == "figure5":
-            print(format_figure5(run_figure5(sizes=args.figure5_sizes)))
+            figure5_kwargs = {} if args.seed is None else {"seed": args.seed}
+            print(
+                format_figure5(
+                    run_figure5(sizes=args.figure5_sizes, **figure5_kwargs)
+                )
+            )
         elif experiment == "table2":
-            print(format_table2(run_table2_employee(), run_table2_tpch()))
+            print(
+                format_table2(
+                    run_table2_employee(seed=args.seed),
+                    run_table2_tpch(seed=args.seed),
+                )
+            )
         elif experiment == "table3":
-            print(format_table3(run_table3_employee(), run_table3_tpch()))
+            print(
+                format_table3(
+                    run_table3_employee(seed=args.seed),
+                    run_table3_tpch(seed=args.seed),
+                )
+            )
         elif experiment == "ablation":
-            print(format_ablation(run_ablation()))
+            print(format_ablation(run_ablation(seed=args.seed)))
         print()
     return 0
 

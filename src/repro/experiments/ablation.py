@@ -18,6 +18,7 @@ an interval encoding is needed at all once the time domain grows.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, List
 
 from ..baselines import NaiveSnapshotEvaluator
@@ -35,9 +36,15 @@ ABLATION_QUERIES = ("join-1", "agg-1", "agg-2", "diff-2")
 def run_ablation(
     config: EmployeesConfig | None = None,
     include_naive: bool = False,
+    seed: int | None = None,
 ) -> List[Dict[str, object]]:
-    """Time each ablation configuration on a subset of the Employee workload."""
+    """Time each ablation configuration on a subset of the Employee workload.
+
+    ``seed`` overrides the generator seed of the (given or default) config.
+    """
     config = config or EmployeesConfig(scale=0.1)
+    if seed is not None:
+        config = replace(config, seed=seed)
     database = generate_employees(config)
     queries = {
         name: query

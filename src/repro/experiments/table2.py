@@ -12,6 +12,7 @@ by the benchmark suite.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List
 
 from ..datasets.employees import EmployeesConfig, generate_employees
@@ -25,9 +26,16 @@ __all__ = ["run_table2_employee", "run_table2_tpch", "format_table2"]
 
 def run_table2_employee(
     config: EmployeesConfig | None = None,
+    seed: int | None = None,
 ) -> List[Dict[str, object]]:
-    """Result cardinalities of the Employee workload."""
+    """Result cardinalities of the Employee workload.
+
+    ``seed`` overrides the generator seed of the (given or default) config,
+    keeping CLI/ledger runs reproducible end to end.
+    """
     config = config or EmployeesConfig(scale=0.2)
+    if seed is not None:
+        config = replace(config, seed=seed)
     database = generate_employees(config)
     middleware = SnapshotMiddleware(config.domain, database=database)
     rows: List[Dict[str, object]] = []
@@ -37,9 +45,14 @@ def run_table2_employee(
     return rows
 
 
-def run_table2_tpch(config: TPCBiHConfig | None = None) -> List[Dict[str, object]]:
+def run_table2_tpch(
+    config: TPCBiHConfig | None = None,
+    seed: int | None = None,
+) -> List[Dict[str, object]]:
     """Result cardinalities of the TPC-BiH workload."""
     config = config or TPCBiHConfig(scale_factor=0.2)
+    if seed is not None:
+        config = replace(config, seed=seed)
     database = generate_tpcbih(config)
     middleware = SnapshotMiddleware(config.domain, database=database)
     rows: List[Dict[str, object]] = []

@@ -24,6 +24,7 @@ the paper's rightmost column.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from ..backends import SQLiteBackend
@@ -119,9 +120,15 @@ def run_table3_employee(
     config: EmployeesConfig | None = None,
     timeout_seconds: Optional[float] = 120.0,
     include_sql: bool = True,
+    seed: int | None = None,
 ) -> List[Dict[str, object]]:
-    """Employee workload runtimes: middleware (Seq) vs. alignment baseline (Nat)."""
+    """Employee workload runtimes: middleware (Seq) vs. alignment baseline (Nat).
+
+    ``seed`` overrides the generator seed of the (given or default) config.
+    """
     config = config or EmployeesConfig(scale=0.2)
+    if seed is not None:
+        config = replace(config, seed=seed)
     database = generate_employees(config)
     return _run_workload(
         database,
@@ -137,9 +144,12 @@ def run_table3_tpch(
     config: TPCBiHConfig | None = None,
     timeout_seconds: Optional[float] = 120.0,
     include_sql: bool = True,
+    seed: int | None = None,
 ) -> List[Dict[str, object]]:
     """TPC-BiH workload runtimes: middleware (Seq) vs. alignment baseline (Nat)."""
     config = config or TPCBiHConfig(scale_factor=0.2)
+    if seed is not None:
+        config = replace(config, seed=seed)
     database = generate_tpcbih(config)
     return _run_workload(
         database,

@@ -76,6 +76,11 @@ class SnapshotMiddleware:
         name (``"memory"``, ``"sqlite"``) or an
         :class:`~repro.backends.ExecutionBackend` instance.  ``None`` keeps
         the in-memory engine; :meth:`execute` can override per query.
+    rewriter_cls:
+        The :class:`~repro.rewriter.rewrite.SnapshotRewriter` subclass that
+        performs REWR.  The conformance harness uses this to inject
+        deliberately broken rewrite rules (mutation testing of its own
+        detection power); production code never needs it.
     """
 
     def __init__(
@@ -86,13 +91,14 @@ class SnapshotMiddleware:
         use_temporal_aggregate: bool = True,
         optimize: bool = True,
         backend: "str | ExecutionBackend | None" = None,
+        rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
     ) -> None:
         self.domain = domain
         self.database = database if database is not None else Database()
         self.period_semiring = PeriodSemiring(NATURAL, domain)
         self.optimize = optimize
         self.backend = backend
-        self._rewriter = SnapshotRewriter(
+        self._rewriter = rewriter_cls(
             self.database,
             domain,
             coalesce=coalesce,

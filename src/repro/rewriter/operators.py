@@ -113,7 +113,11 @@ class CoalesceOperator(PhysicalOperator):
         deltas: Dict[Tuple[Any, ...], Counter] = {}
         for row in table.rows:
             begin, end = row[begin_index], row[end_index]
-            if begin >= end:
+            # SQL semantics of the window formulation's ``WHERE begin < end``
+            # prefilter: a NULL end point makes the comparison unknown, so
+            # the row is dropped -- like a degenerate interval it holds at no
+            # time point.
+            if begin is None or end is None or begin >= end:
                 continue
             bucket = deltas.get(values := data_key(row))
             if bucket is None:
@@ -224,9 +228,16 @@ class SplitOperator(PhysicalOperator):
         result = Table("split", left.schema)
         for row in left.rows:
             begin, end = row[begin_index], row[end_index]
-            if begin >= end:
+            # NULL end points drop the row (SQL's ``WHERE begin < end``), and
+            # NULL cut points never satisfy ``begin < p < end`` -- matching
+            # the compiled window SQL's three-valued comparisons.
+            if begin is None or end is None or begin >= end:
                 continue
-            cuts = [p for p in endpoints.get(group_key(row), ()) if begin < p < end]
+            cuts = [
+                p
+                for p in endpoints.get(group_key(row), ())
+                if p is not None and begin < p < end
+            ]
             bounds = [begin, *sorted(set(cuts)), end]
             for piece_begin, piece_end in zip(bounds, bounds[1:]):
                 piece = list(row)
@@ -318,7 +329,9 @@ class TemporalAggregateOperator(PhysicalOperator):
         buckets: Counter = Counter()
         for row in table.rows:
             begin, end = row[begin_index], row[end_index]
-            if begin >= end:
+            # SQL's ``WHERE begin < end`` prefilter: NULL end points drop the
+            # row, exactly like the compiled segmentation SQL.
+            if begin is None or end is None or begin >= end:
                 continue
             args = tuple(
                 None if argument is None else argument(row)

@@ -90,6 +90,25 @@ class TestLiterals:
     def test_null_literal(self):
         assert sqlite_eval(Literal(None)) is None
 
+    @pytest.mark.parametrize(
+        "value",
+        [
+            # SQLite's text-to-float parse is off by 1 ulp on repr for these
+            # (found by the roundtrip property); the printer must emit the
+            # exact power-of-two decomposition instead.
+            1.8631083202209423e-301,
+            -3.215028547198467e-18,
+            5e-324,  # smallest subnormal
+            -5e-324,
+            2.2250738585072014e-308,  # smallest normal
+            1.7976931348623157e308,  # largest finite
+            -1.7976931348623157e308,
+            0.30000000000000004,  # 17 significant digits
+        ],
+    )
+    def test_extreme_floats_roundtrip_exactly(self, value):
+        assert sqlite_eval(Literal(value)) == value
+
     def test_string_escaping_reaches_comparison(self):
         expression = Comparison("=", attr("s"), lit("O'Brien"))
         assert sqlite_eval(expression, {"s": "O'Brien"}) == 1

@@ -1,0 +1,156 @@
+"""Unit tests of the conformance harness on known-correct inputs.
+
+These are the fast, always-on checks: the harness agrees with the paper's
+running example across all four execution configurations, the oracle and
+changepoint enumeration behave as specified, and ``assert_conformant``
+raises a :class:`ConformanceError` carrying a counterexample when (and only
+when) a configuration disagrees with the snapshot oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import Comparison, attr, lit
+from repro.algebra.operators import (
+    AggregateSpec,
+    Aggregation,
+    Distinct,
+    Projection,
+    RelationAccess,
+    Selection,
+)
+from repro.conformance import (
+    ConformanceError,
+    assert_conformant,
+    check_conformance,
+    distinct_time_points,
+    oracle_at,
+    referenced_tables,
+)
+from repro.conformance.mutations import BrokenDistinctRewriter
+from repro.datasets import GeneratorConfig, generate_catalog
+from repro.datasets.running_example import (
+    TIME_DOMAIN,
+    populate_database,
+    query_onduty,
+    query_skillreq,
+)
+from repro.engine.catalog import Database
+
+
+@pytest.fixture
+def running_db() -> Database:
+    return populate_database(Database())
+
+
+def test_running_example_queries_conform(running_db):
+    for query in (query_onduty(), query_skillreq()):
+        report = assert_conformant(query, running_db, TIME_DOMAIN)
+        assert report.ok
+        # memory/sqlite x planner on/off, each checked at every changepoint.
+        assert report.configurations == (
+            ("memory", True),
+            ("memory", False),
+            ("sqlite", True),
+            ("sqlite", False),
+        )
+        assert report.checks == 4 * len(report.points)
+
+
+def test_distinct_time_points_cover_changepoints(running_db):
+    points = distinct_time_points(running_db, ("works", "assign"), TIME_DOMAIN)
+    # Tmin plus every in-domain begin/end of works and assign rows.
+    assert points == [0, 3, 6, 8, 10, 12, 14, 16, 18, 20]
+
+
+def test_distinct_time_points_sampling_is_deterministic(running_db):
+    full = distinct_time_points(running_db, ("works",), TIME_DOMAIN)
+    sampled = distinct_time_points(running_db, ("works",), TIME_DOMAIN, limit=3)
+    again = distinct_time_points(running_db, ("works",), TIME_DOMAIN, limit=3)
+    assert sampled == again
+    assert len(sampled) == 3
+    assert sampled[0] == TIME_DOMAIN.min_point
+    assert set(sampled) <= set(full)
+
+
+def test_oracle_matches_figure1(running_db):
+    # Figure 1b: two SP workers on duty during [8, 10).
+    result = oracle_at(query_onduty(), running_db, TIME_DOMAIN, 9)
+    assert dict(result) == {(2,): 1}
+    # ... and zero during the early-morning gap (the AG-bug row).
+    result = oracle_at(query_onduty(), running_db, TIME_DOMAIN, 1)
+    assert dict(result) == {(0,): 1}
+
+
+def test_referenced_tables_in_first_reference_order(running_db):
+    assert referenced_tables(query_skillreq(), running_db) == ("assign", "works")
+
+
+def test_explicit_points_are_validated(running_db):
+    with pytest.raises(ValueError):
+        check_conformance(query_onduty(), running_db, TIME_DOMAIN, points=[99])
+
+
+def test_empty_point_list_is_rejected(running_db):
+    # A vacuous report (0 checks, ok=True) must be impossible to request.
+    with pytest.raises(ValueError, match="no time points"):
+        check_conformance(query_onduty(), running_db, TIME_DOMAIN, points=[])
+
+
+def test_generated_catalog_conforms_including_adversarial_rows():
+    config = GeneratorConfig(
+        rows=18,
+        domain_size=16,
+        seed=11,
+        interval_profile="mixed",
+        duplicate_rate=0.25,
+        null_rate=0.2,
+        null_endpoint_rate=0.15,
+        degenerate_rate=0.2,
+    )
+    database = generate_catalog(config)
+    query = Aggregation(
+        RelationAccess("R"),
+        ("r_cat",),
+        (
+            AggregateSpec("count", None, "cnt"),
+            AggregateSpec("sum", attr("r_val"), "total"),
+        ),
+    )
+    assert_conformant(query, database, config.domain)
+
+
+def test_assert_conformant_raises_with_minimized_counterexample(running_db):
+    query = Distinct(
+        Projection.of_attributes(
+            Selection(
+                RelationAccess("works"), Comparison("=", attr("skill"), lit("SP"))
+            ),
+            "skill",
+        )
+    )
+    with pytest.raises(ConformanceError) as excinfo:
+        assert_conformant(
+            query, running_db, TIME_DOMAIN, rewriter_cls=BrokenDistinctRewriter
+        )
+    counterexample = excinfo.value.counterexample
+    # The DISTINCT bug needs exactly two overlapping SP rows to show.
+    assert len(counterexample.tables["works"]) == 2
+    assert counterexample.error is None
+    assert counterexample.expected != counterexample.actual
+    assert "snapshot-conformance violation" in counterexample.describe()
+
+
+def test_minimize_can_be_disabled(running_db):
+    query = Distinct(Projection.of_attributes(RelationAccess("works"), "skill"))
+    report = check_conformance(
+        query,
+        running_db,
+        TIME_DOMAIN,
+        rewriter_cls=BrokenDistinctRewriter,
+        minimize=False,
+    )
+    assert not report.ok
+    assert report.counterexample.shrink_checks == 0
+    assert len(report.counterexample.tables["works"]) == 4  # untouched input

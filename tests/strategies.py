@@ -12,6 +12,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.algebra.expressions import Comparison, attr, lit
+from repro.datasets.generator import INTERVAL_PROFILES, GeneratorConfig
 from repro.algebra.operators import (
     AggregateSpec,
     Aggregation,
@@ -317,3 +318,117 @@ def running_example_queries():
     selected_binary = binary.map(select_above)
 
     return st.one_of(join, binary, selected_binary, aggregation, distinct)
+
+
+# -- conformance sweeps: generator configs and a deeper plan grammar -------------------------
+
+
+def generator_configs(max_rows: int = 10, domain: TimeDomain = PROPERTY_DOMAIN):
+    """Random :class:`GeneratorConfig` instances, adversarial shapes included.
+
+    Row counts and the time domain stay small because every conformance case
+    re-executes the plan under four configurations and compares against a
+    per-point oracle; the *shapes* (heavy-overlap chains, point intervals,
+    NULL data and NULL end points, duplicates) are what the sweep varies.
+    """
+    assert domain.min_point == 0  # GeneratorConfig domains start at 0
+    return st.builds(
+        GeneratorConfig,
+        rows=st.integers(0, max_rows),
+        domain_size=st.just(len(domain)),
+        seed=st.integers(0, 2**16),
+        interval_profile=st.sampled_from(INTERVAL_PROFILES),
+        duplicate_rate=st.sampled_from((0.0, 0.3)),
+        null_rate=st.sampled_from((0.0, 0.25)),
+        null_endpoint_rate=st.sampled_from((0.0, 0.15)),
+        degenerate_rate=st.sampled_from((0.0, 0.2)),
+        groups=st.integers(1, 3),
+        values=st.integers(1, 4),
+        keys=st.integers(1, 4),
+    )
+
+
+def conformance_queries():
+    """RA^agg plans for the conformance sweeps: deeper than :func:`queries`.
+
+    Adds what the original grammar lacks: *nested* set operations (built
+    recursively over the normalised ``(cat, val)`` shape), duplicate
+    elimination and bag difference (both exercising the split operator) at
+    arbitrary depth, and temporal aggregation **with grouping** over any
+    sub-plan -- including aggregation above nested set operations.  The
+    value universe of the predicates covers both the hypothesis databases
+    (categories ``a``/``b``/``c``) and the generated catalogs (categories
+    ``g0``/``g1``/...), so either data source yields selective plans.
+    """
+
+    def project_r(child):
+        return Projection(child, ((attr("r_cat"), "cat"), (attr("r_val"), "val")))
+
+    def project_s(child):
+        return Projection(child, ((attr("s_cat"), "cat"), (attr("s_val"), "val")))
+
+    selected_r = st.sampled_from(
+        [
+            RelationAccess("R"),
+            Selection(RelationAccess("R"), Comparison(">", attr("r_val"), lit(1))),
+            Selection(RelationAccess("R"), Comparison("!=", attr("r_cat"), lit("g0"))),
+        ]
+    ).map(project_r)
+    join = st.just(
+        Projection(
+            Join(
+                RelationAccess("R"),
+                RelationAccess("S"),
+                Comparison("=", attr("r_key"), attr("s_key")),
+            ),
+            ((attr("r_cat"), "cat"), (attr("s_val"), "val")),
+        )
+    )
+    base = st.one_of(selected_r, st.just(project_s(RelationAccess("S"))), join)
+
+    predicates = st.sampled_from(
+        [
+            Comparison("=", attr("cat"), lit("a")),
+            Comparison("=", attr("cat"), lit("g0")),
+            Comparison("!=", attr("cat"), lit("g1")),
+            Comparison("<=", attr("val"), lit(2)),
+            Comparison(">", attr("val"), lit(0)),
+        ]
+    )
+
+    def extend(children):
+        pairs = st.tuples(children, children)
+        return st.one_of(
+            pairs.map(lambda lr: Union(*lr)),
+            pairs.map(lambda lr: Difference(*lr)),
+            children.map(Distinct),
+            st.tuples(children, predicates).map(lambda cp: Selection(*cp)),
+        )
+
+    nested = st.recursive(base, extend, max_leaves=3)
+
+    aggregate_specs = st.sampled_from(
+        [
+            (AggregateSpec("count", None, "cnt"),),
+            (
+                AggregateSpec("count", None, "cnt"),
+                AggregateSpec("sum", attr("val"), "total"),
+            ),
+            (AggregateSpec("max", attr("val"), "highest"),),
+            (AggregateSpec("min", attr("val"), "lowest"),),
+        ]
+    )
+    grouped = st.tuples(nested, aggregate_specs).map(
+        lambda qa: Aggregation(qa[0], ("cat",), qa[1])
+    )
+    ungrouped = st.tuples(nested, aggregate_specs).map(
+        lambda qa: Aggregation(qa[0], (), qa[1])
+    )
+    selected_aggregate = nested.map(
+        lambda q: Selection(
+            Aggregation(q, ("cat",), (AggregateSpec("count", None, "cnt"),)),
+            Comparison(">", attr("cnt"), lit(1)),
+        )
+    )
+
+    return st.one_of(nested, grouped, ungrouped, selected_aggregate)
