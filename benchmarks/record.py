@@ -18,7 +18,12 @@ track across PRs and appends the timings to a JSON ledger:
   heavy-overlap (``chained``) catalogs from the synthetic workload
   generator (:mod:`repro.datasets.generator`) at increasing row counts:
   the scaling column every conformance-covered future optimisation is
-  measured against.
+  measured against;
+* **plan cache** -- repeated execution of one grouped temporal aggregation
+  (over a join) through a fluent session (:func:`repro.api.connect`), cold
+  (the rewritten-plan cache cleared before every run, so REWR + planner run
+  each time) vs. warm (the cache reused, so both are skipped): the per-run
+  speedup the session API's plan cache buys on rewrite-heavy workloads.
 
 Usage::
 
@@ -29,7 +34,7 @@ Usage::
 ledger entry), so any recorded run can be reproduced bit for bit.
 
 Each invocation merges its results under ``--label`` into ``--output``
-(default ``BENCH_pr4.json`` at the repo root) and, when at least two labels
+(default ``BENCH_pr5.json`` at the repo root) and, when at least two labels
 are present, reports the speedup of the newest label over the oldest so the
 perf trajectory is visible from the ledger alone.
 
@@ -51,6 +56,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.algebra import Comparison, Join, RelationAccess, and_, attr
 from repro.algebra.operators import AggregateSpec, Aggregation, Projection
+from repro.api import connect
 from repro.backends import SQLiteBackend
 from repro.datasets.employees import EmployeesConfig, generate_employees
 from repro.datasets.generator import GeneratorConfig, generate_catalog
@@ -69,6 +75,13 @@ EMPLOYEE_SCALE = 0.1
 OVERLAP_JOIN_ROWS = 2_000
 #: Row counts of the generator-driven scaling workload.
 GENERATOR_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
+#: Rows per table and executions per mode of the plan-cache workload.  The
+#: tables are deliberately small and the plan deliberately deep: the
+#: workload models the many-small-repeated-queries regime where the
+#: per-execution REWR + planner overhead (which the warm cache removes)
+#: dominates the engine time.
+PLAN_CACHE_ROWS = 16
+PLAN_CACHE_EXECUTIONS = 40
 
 
 def time_figure5(
@@ -236,6 +249,78 @@ def time_generator_scaling(
     return results
 
 
+def time_plan_cache(
+    rows: int, executions: int, repetitions: int, seed: Optional[int]
+) -> Dict[str, object]:
+    """Repeated grouped temporal aggregation: cold vs. warm plan cache.
+
+    One fluent session executes the same query ``executions`` times per
+    mode.  Cold clears the rewritten-plan cache before every execution, so
+    each run pays REWR + planner; warm reuses the cached plan, so both are
+    skipped (asserted through the pipeline's statistics counters).
+    """
+    config = GeneratorConfig(
+        rows=rows,
+        domain_size=64,
+        seed=23 if seed is None else seed,
+        interval_profile="mixed",
+        duplicate_rate=0.1,
+        groups=4,
+        values=8,
+        keys=16,
+    )
+    database = generate_catalog(config)
+    session = connect(config.domain, database=database)
+    # A deep chain (nested set operations, a join, duplicate elimination,
+    # grouped temporal aggregation): REWR + planner cost grows with plan
+    # depth, which is exactly what a cache hit skips.
+    r = session.table("R").select(cat="r_cat", val="r_val")
+    s = session.table("S").select(cat="s_cat", val="s_val")
+    joined = (
+        session.table("R")
+        .join(session.table("S"), on="r_key = s_key")
+        .select(cat="r_cat", val="s_val")
+    )
+    everything = r.union(s).union(joined)
+    active = everything.difference(r.where("val > 2")).distinct()
+    relation = (
+        active.union(everything.where("cat = 'g0'"))
+        .group_by("cat")
+        .agg(cnt="count(*)", total="sum(val)")
+    )
+    output_rows = len(relation.rows())
+
+    def run_cold() -> None:
+        for _ in range(executions):
+            session.clear_plan_cache()
+            relation.rows()
+
+    def run_warm() -> None:
+        for _ in range(executions):
+            relation.rows()
+
+    cold_seconds = _best_of(run_cold, repetitions)
+    relation.rows()  # warm the cache *outside* the timed region
+    warm_seconds = _best_of(run_warm, repetitions)
+    # Sanity: the warm path must actually have skipped REWR + planner.
+    statistics: Dict[str, int] = {}
+    relation.rows(statistics)
+    if "rewrite.invocations" in statistics or not statistics.get("plan_cache.hits"):
+        raise RuntimeError(f"warm execution did not hit the plan cache: {statistics}")
+    return {
+        "rows_per_table": rows,
+        "executions": executions,
+        "output_rows": output_rows,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_seconds_per_execution": cold_seconds / executions,
+        "warm_seconds_per_execution": warm_seconds / executions,
+        "warm_speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds > 0
+        else None,
+    }
+
+
 def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     """Speedup of the newest label over the oldest (by recording order)."""
     labels = [k for k in ledger if k != "speedup_newest_vs_oldest"]
@@ -276,6 +361,11 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     }
     if summary_generator:
         summary["generator_scaling"] = summary_generator
+    # The plan-cache workload only exists from PR 5 on.
+    base_cache = base.get("plan_cache", {}).get("warm_seconds")
+    new_cache = new.get("plan_cache", {}).get("warm_seconds")
+    if base_cache is not None and new_cache:
+        summary["plan_cache_warm"] = round(base_cache / new_cache, 2)
     return summary
 
 
@@ -284,7 +374,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr4.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr5.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -294,6 +384,10 @@ def main() -> int:
     parser.add_argument("--overlap-rows", type=int, default=OVERLAP_JOIN_ROWS)
     parser.add_argument(
         "--generator-sizes", type=int, nargs="+", default=list(GENERATOR_SIZES)
+    )
+    parser.add_argument("--plan-cache-rows", type=int, default=PLAN_CACHE_ROWS)
+    parser.add_argument(
+        "--plan-cache-executions", type=int, default=PLAN_CACHE_EXECUTIONS
     )
     parser.add_argument(
         "--seed",
@@ -320,6 +414,9 @@ def main() -> int:
         ),
         "generator_scaling": lambda: time_generator_scaling(
             args.generator_sizes, args.repetitions, args.seed
+        ),
+        "plan_cache": lambda: time_plan_cache(
+            args.plan_cache_rows, args.plan_cache_executions, args.repetitions, args.seed
         ),
     }
     for name, workload in workloads.items():

@@ -1,13 +1,14 @@
-"""The snapshot-conformance harness, end to end.
+"""The snapshot-conformance harness, driven through the fluent API.
 
 Three acts:
 
-1. certify the paper's running-example queries: every execution
-   configuration (memory/SQLite backend, planner on/off) matches the
-   abstract-model snapshot oracle at every changepoint;
+1. certify the paper's running-example queries with one chained call --
+   ``relation.check()`` compares every execution configuration
+   (memory/SQLite backend, planner on/off) against the abstract-model
+   snapshot oracle at every changepoint;
 2. generate an adversarial synthetic catalog (heavy overlap, duplicates,
-   NULL data values, NULL/degenerate periods) and certify a grouped
-   temporal aggregation over it;
+   NULL data values, NULL/degenerate periods), attach a session to it and
+   certify a grouped temporal aggregation over it;
 3. break a rewrite rule on purpose and watch the harness catch it with a
    *minimized* counterexample -- the smallest input that still shows the
    bug, the failing time point, and both result relations.
@@ -17,29 +18,26 @@ Run from the repository root::
     PYTHONPATH=src python examples/conformance_demo.py
 """
 
-from repro import assert_conformant, check_conformance
-from repro.algebra import (
-    AggregateSpec,
-    Aggregation,
-    Projection,
-    RelationAccess,
-    attr,
-)
+from repro import connect
 from repro.conformance.mutations import BrokenDistinctRewriter
 from repro.datasets import GeneratorConfig, generate_catalog
-from repro.datasets.running_example import (
-    TIME_DOMAIN,
-    populate_database,
-    query_onduty,
-    query_skillreq,
-)
-from repro.engine import Database
+from repro.datasets.running_example import ASSIGN_ROWS, TIME_DOMAIN, WORKS_ROWS
 
 # -- Act 1: the running example conforms everywhere ---------------------------------
 
-database = populate_database(Database())
-for name, query in (("Qonduty", query_onduty()), ("Qskillreq", query_skillreq())):
-    report = assert_conformant(query, database, TIME_DOMAIN)
+session = connect(TIME_DOMAIN)
+works = session.load("works", ["name", "skill"], WORKS_ROWS)
+assign = session.load("assign", ["mach", "req_skill"], ASSIGN_ROWS)
+
+onduty = works.where("skill = 'SP'").agg(cnt="count(*)")
+skillreq = (
+    assign.select("req_skill")
+    .rename(req_skill="skill")
+    .difference(works.select("skill"))
+)
+for name, relation in (("Qonduty", onduty), ("Qskillreq", skillreq)):
+    report = relation.check()
+    report.raise_if_failed()
     print(
         f"{name}: {report.checks} checks "
         f"({len(report.configurations)} configurations x "
@@ -58,18 +56,15 @@ config = GeneratorConfig(
     null_endpoint_rate=0.1,       # periods that hold at no snapshot
     degenerate_rate=0.1,          # zero-length periods
 )
-generated = generate_catalog(config)
-aggregation = Aggregation(
-    Projection(
-        RelationAccess("R"), ((attr("r_cat"), "cat"), (attr("r_val"), "val"))
-    ),
-    ("cat",),
-    (
-        AggregateSpec("count", None, "cnt"),
-        AggregateSpec("sum", attr("val"), "total"),
-    ),
+generated = connect(config.domain, database=generate_catalog(config))
+aggregation = (
+    generated.table("R")
+    .select(cat="r_cat", val="r_val")
+    .group_by("cat")
+    .agg(cnt="count(*)", total="sum(val)")
 )
-report = assert_conformant(aggregation, generated, config.domain)
+report = aggregation.check()
+report.raise_if_failed()
 print(
     f"generated catalog (profile={config.interval_profile!r}): "
     f"{report.checks} checks -- all conform"
@@ -77,14 +72,8 @@ print(
 
 # -- Act 3: a broken rewrite rule is caught and minimized ---------------------------
 
-from repro.algebra import Distinct  # noqa: E402
-
-distinct_skills = Distinct(
-    Projection.of_attributes(RelationAccess("works"), "skill")
-)
-broken = check_conformance(
-    distinct_skills, database, TIME_DOMAIN, rewriter_cls=BrokenDistinctRewriter
-)
+distinct_skills = works.select("skill").distinct()
+broken = distinct_skills.check(rewriter_cls=BrokenDistinctRewriter)
 assert not broken.ok
 print("\nmutated rewriter (DISTINCT without interval alignment) is caught:\n")
 print(broken.counterexample.describe())

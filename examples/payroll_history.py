@@ -3,8 +3,10 @@
 Demonstrates the workloads the paper's evaluation is built on: temporal
 joins between salary, title and department histories, snapshot aggregation
 with and without grouping (including the gap semantics that native systems
-get wrong), and snapshot bag difference, all through the public
-:class:`~repro.SnapshotMiddleware` API.
+get wrong), and snapshot bag difference -- written as fluent chains through
+:func:`repro.connect`.  The tail runs the full hand-built benchmark
+workload through ``session.query``, showing that fluent and operator-tree
+queries share one pipeline (and one plan cache).
 
 Run with::
 
@@ -15,65 +17,45 @@ Run with::
 
 import sys
 
-from repro import SnapshotMiddleware
-from repro.algebra import (
-    AggregateSpec,
-    Aggregation,
-    Comparison,
-    Join,
-    Projection,
-    RelationAccess,
-    Selection,
-    attr,
-    lit,
-)
+from repro import connect
 from repro.datasets import EmployeesConfig, generate_employees
 from repro.datasets.workloads import employee_queries
 
 
 def main(scale: float = 0.05) -> None:
     config = EmployeesConfig(scale=scale)
-    database = generate_employees(config)
-    middleware = SnapshotMiddleware(config.domain, database=database)
+    session = connect(config.domain, database=generate_employees(config))
     print(f"Generated Employees database (scale={scale}):")
-    for name, count in sorted(database.row_counts().items()):
+    for name, count in sorted(session.database.row_counts().items()):
         print(f"  {name:14s} {count:6d} period rows")
     print()
 
     # --- How did the headcount of department d000 evolve? --------------------
-    headcount = Aggregation(
-        Selection(
-            RelationAccess("dept_emp"), Comparison("=", attr("de_dept_no"), lit("d000"))
-        ),
-        (),
-        (AggregateSpec("count", None, "headcount"),),
+    headcount = (
+        session.table("dept_emp")
+        .where("de_dept_no = 'd000'")
+        .agg(headcount="count(*)")
     )
     print("Headcount history of department d000 (first 12 periods):")
-    print(middleware.execute(headcount).pretty(limit=12))
+    print(headcount.pretty(limit=12))
     print()
 
     # --- Average salary per department over time (the paper's agg-1). ---------
-    salaries_by_department = Aggregation(
-        Projection.of_attributes(
-            Join(
-                RelationAccess("dept_emp"),
-                RelationAccess("salaries"),
-                Comparison("=", attr("de_emp_no"), attr("s_emp_no")),
-            ),
-            "de_dept_no",
-            "s_salary",
-        ),
-        ("de_dept_no",),
-        (AggregateSpec("avg", attr("s_salary"), "avg_salary"),),
+    salaries_by_department = (
+        session.table("dept_emp")
+        .join(session.table("salaries"), on="de_emp_no = s_emp_no")
+        .select("de_dept_no", "s_salary")
+        .group_by("de_dept_no")
+        .agg(avg_salary="avg(s_salary)")
     )
-    result = middleware.execute(salaries_by_department)
+    result = salaries_by_department.table()
     print(f"Average salary per department over time: {len(result)} result rows")
     print(result.pretty(limit=8))
     print()
 
     # --- Who earned top-of-department pay, and when? (the paper's agg-join) ----
-    top_earners = employee_queries()["agg-join"]
-    result = middleware.execute(top_earners)
+    top_earners = session.query(employee_queries()["agg-join"])
+    result = top_earners.table()
     print(f"Department top earners over time: {len(result)} result rows")
     print(result.pretty(limit=8))
     print()
@@ -81,7 +63,7 @@ def main(scale: float = 0.05) -> None:
     # --- The full benchmark workload in one go. --------------------------------
     print("Result cardinalities of the full Employee workload (paper Table 2):")
     for name, query in employee_queries().items():
-        print(f"  {name:10s} {len(middleware.execute(query)):8d} rows")
+        print(f"  {name:10s} {len(session.query(query).rows()):8d} rows")
 
 
 if __name__ == "__main__":

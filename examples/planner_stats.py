@@ -1,77 +1,64 @@
 """The planner and the interval join, observable end to end.
 
-Runs a temporal join over the running example (which workers are on a
-machine that requires their skill, and when) twice -- with the planner off
-and on -- and shows:
+Builds a temporal join over the running example (which workers are on a
+machine that requires their skill, and when) as one fluent chain and uses
+``TemporalRelation.explain()`` -- backed by the stable
+``Operator.explain_tree()`` renderer -- to show the whole pipeline:
 
-* the rewritten plan before and after optimisation (selection pushed to the
-  base table, identity projections gone, the user's equality conjunct folded
-  into the join predicate);
+* the logical plan, the REWR plan, and the optimized plan (selection pushed
+  to the base table, identity projections gone, the user's equality
+  conjunct folded into the join predicate);
+* the planner's own ``planner.*`` rule counters;
 * the executor's ``join_strategy.*`` statistics: the REWR join carries the
   interval-overlap predicate, so with the planner's predicate normalisation
   the engine runs it as a sort-merge interval join instead of filtering a
-  hash/nested-loop result;
-* the planner's own ``planner.*`` rule counters.
+  hash/nested-loop result.
 
 Run from the repository root::
 
     PYTHONPATH=src python examples/planner_stats.py
 """
 
-from repro.algebra import Comparison, Join, Projection, RelationAccess, Selection, and_, attr, lit
-from repro.datasets.running_example import load_running_example
+from repro import connect
+from repro.datasets.running_example import ASSIGN_ROWS, TIME_DOMAIN, WORKS_ROWS
 
 
 def main() -> None:
-    middleware = load_running_example()
+    session = connect(TIME_DOMAIN)
+    works = session.load("works", ["name", "skill"], WORKS_ROWS)
+    assign = session.load("assign", ["mach", "req_skill"], ASSIGN_ROWS)
 
     # Which specialised workers are on duty while some machine needs their
     # skill?  (A snapshot theta join: the rewriting adds the interval
     # overlap to the join predicate.)
-    query = Selection(
-        Projection.of_attributes(
-            Join(
-                RelationAccess("works"),
-                RelationAccess("assign"),
-                Comparison("=", attr("skill"), attr("req_skill")),
-            ),
-            "name",
-            "mach",
-            "skill",
-        ),
-        Comparison("=", attr("skill"), lit("SP")),
+    staffed = (
+        works.join(assign, on="skill = req_skill")
+        .select("name", "mach", "skill")
+        .where("skill = 'SP'")
     )
 
-    middleware.optimize = False
-    print("rewritten plan (planner off):\n")
-    print(middleware.explain(query))
+    # The full pipeline with the planner off...
+    session.planner = False
+    print("pipeline (planner off):\n")
+    print(staffed.explain())
 
-    middleware.optimize = True
-    print("\nrewritten plan (planner on):\n")
-    print(middleware.explain(query))
+    # ...and on: one rendering covers logical plan -> REWR -> planner rules
+    # fired -> the join strategy the executor chose.
+    session.planner = True
+    print("\npipeline (planner on):\n")
+    print(staffed.explain())
 
-    statistics: dict = {}
-    result = middleware.execute(query, statistics=statistics)
     print("\nresult:\n")
-    print(result.pretty())
+    print(staffed.pretty())
 
-    print("\njoin strategies chosen by the executor:")
-    for key, value in sorted(statistics.items()):
-        if key.startswith("join_strategy."):
-            print(f"  {key} = {value}")
-    print("\nplanner rules applied:")
-    for key, value in sorted(statistics.items()):
-        if key.startswith("planner."):
-            print(f"  {key} = {value}")
-
-    # And the same, interval join disabled, to see the fallback counters.
+    # And the same plan, interval join disabled, to see the fallback counters.
     from repro.engine import execute
 
-    plan = middleware.rewrite(query)
-    fallback_stats: dict = {}
-    execute(plan, middleware.database, fallback_stats, interval_join=False)
+    plan = session.pipeline.rewrite(staffed.plan)
+    fallback_statistics: dict = {}
+    execute(plan, session.database, fallback_statistics, interval_join=False)
     print("\nwith interval_join=False the same plan reports:")
-    for key, value in sorted(fallback_stats.items()):
+    for key, value in sorted(fallback_statistics.items()):
         if key.startswith("join_strategy."):
             print(f"  {key} = {value}")
 

@@ -25,24 +25,40 @@ Relations*, PVLDB 12(6), 2019:
   the abstract-model oracle at every input changepoint, violations shrunk
   to minimized counterexamples.
 
-Quickstart::
+Quickstart -- the fluent session API (:mod:`repro.api`) is the canonical
+public surface: ``connect()`` returns a session owning the catalog, the
+rewriter, the planner, the backend and a rewritten-plan cache; lazy
+relations compile fluent chains to the logical algebra and execute on the
+first terminal call::
 
-    from repro import SnapshotMiddleware, TimeDomain
-    from repro.algebra import (
-        AggregateSpec, Aggregation, Comparison, RelationAccess, Selection, attr, lit,
-    )
+    from repro import connect
 
-    middleware = SnapshotMiddleware(TimeDomain(0, 24))
-    middleware.load_table("works", ["name", "skill"], [
+    session = connect((0, 24))                     # hours of 2018-01-01
+    works = session.load("works", ["name", "skill"], [
         ("Ann", "SP", 3, 10), ("Joe", "NS", 8, 16),
         ("Sam", "SP", 8, 16), ("Ann", "SP", 18, 20),
     ])
-    onduty = Aggregation(
-        Selection(RelationAccess("works"), Comparison("=", attr("skill"), lit("SP"))),
-        (), (AggregateSpec("count", None, "cnt"),),
-    )
-    print(middleware.execute(onduty).pretty())
+    onduty = works.where("skill = 'SP'").agg(cnt="count(*)")
+    print(onduty.pretty())        # snapshot counts incl. the gap rows
+    print(onduty.snapshot(8))     # the 08:00 timeslice, by reducibility
+    print(onduty.explain())       # logical plan -> REWR -> planner -> execution
+    onduty.check().raise_if_failed()   # conformance vs. the abstract oracle
+
+Re-executing ``onduty`` (or the same chain built again) hits the session's
+plan cache and skips REWR + planner entirely.  Hand-built operator trees
+remain first-class: ``session.query(operator_tree)`` wraps one, and the
+classic :class:`SnapshotMiddleware` stays available as a thin layer over
+the same execution pipeline.
 """
+
+from .api import (
+    FluentError,
+    GroupedRelation,
+    Session,
+    TemporalRelation,
+    connect,
+    parse_expression,
+)
 
 from .abstract_model import (
     KRelation,
@@ -74,6 +90,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "connect",
+    "Session",
+    "TemporalRelation",
+    "GroupedRelation",
+    "FluentError",
+    "parse_expression",
     "TimeDomain",
     "Interval",
     "TemporalElement",

@@ -69,6 +69,43 @@ class Operator:
         for child in self.children():
             yield from child.walk()
 
+    # -- plan rendering -----------------------------------------------------------
+
+    def explain_label(self) -> str:
+        """One line describing this node alone (no children).
+
+        Defaults to ``repr``; operators whose generated dataclass ``repr``
+        recurses into children must override this (the rewriter's physical
+        operators define compact ``__repr__`` instead).
+        """
+        return repr(self)
+
+    def explain_tree(self) -> str:
+        """A stable multi-line tree rendering of the whole plan.
+
+        One node per line, children connected with box-drawing guides::
+
+            Aggregation(group by (); count(*) AS cnt)
+            └─ Selection((skill = 'SP'))
+               └─ Relation(works)
+
+        Every evaluator-facing rendering (``SnapshotMiddleware.explain``,
+        the fluent API's ``TemporalRelation.explain``) builds on this; the
+        output is pinned by tests, so treat changes as API changes.
+        """
+        lines: list[str] = [self.explain_label()]
+
+        def render(node: "Operator", prefix: str) -> None:
+            children = node.children()
+            for position, child in enumerate(children):
+                last = position == len(children) - 1
+                connector = "└─ " if last else "├─ "
+                lines.append(prefix + connector + child.explain_label())
+                render(child, prefix + ("   " if last else "│  "))
+
+        render(self, "")
+        return "\n".join(lines)
+
     # -- planner extension hooks --------------------------------------------------
     #
     # The planner (:mod:`repro.planner`) knows the core RA^agg operators

@@ -1,0 +1,263 @@
+"""A small SQL-flavoured expression parser for the fluent API.
+
+The fluent methods (:meth:`~repro.api.TemporalRelation.where`, computed
+``select`` columns, ``join(on=...)``, aggregate arguments) accept either
+:class:`~repro.algebra.expressions.Expression` trees or plain strings; this
+module turns the strings into the same trees, so a chain like::
+
+    works.where("skill = 'SP' and name != 'Ann'")
+
+builds exactly the predicate a hand-written
+``and_(Comparison("=", attr("skill"), lit("SP")), ...)`` would.
+
+The grammar covers precisely the expression language of
+:mod:`repro.algebra.expressions` -- comparisons (``= != <> < <= > >=``),
+``AND`` / ``OR`` / ``NOT`` (case-insensitive), arithmetic (``+ - * /``,
+with the usual precedence, unary ``-``/``+`` included), ``IS [NOT] NULL``,
+``NULL``, integer / float /
+``'single-quoted'`` literals (``''`` escapes a quote), attribute names and
+the built-in scalar functions (``least``, ``greatest``, ``abs``,
+``coalesce``).  Anything else raises :class:`ExpressionSyntaxError` with
+the offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Union
+
+from ..algebra.expressions import (
+    Arithmetic,
+    Attribute,
+    BooleanOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    IsNull,
+    Literal,
+    Not,
+)
+
+__all__ = ["ExpressionSyntaxError", "parse_expression", "as_expression"]
+
+#: Scalar functions the expression language ships (kept in sync with
+#: ``repro.algebra.expressions._FUNCTIONS`` by the parser tests).
+_FUNCTION_NAMES = ("least", "greatest", "abs", "coalesce")
+
+_KEYWORDS = ("and", "or", "not", "is", "null")
+
+
+class ExpressionSyntaxError(ValueError):
+    """Raised when a string expression cannot be parsed."""
+
+
+class _Token(NamedTuple):
+    kind: str  # "number" | "string" | "name" | "op" | "end"
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\+|-|\*|/)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ExpressionSyntaxError(
+                f"unexpected character {text[position]!r} at position {position} "
+                f"in {text!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over the token list; lowest precedence first."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.value.lower() == word
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.value != op:
+            raise ExpressionSyntaxError(
+                f"expected {op!r} at position {token.position} in {self.text!r}, "
+                f"got {token.value!r}"
+            )
+
+    def fail(self, token: _Token, expected: str) -> "ExpressionSyntaxError":
+        what = token.value or "end of input"
+        return ExpressionSyntaxError(
+            f"expected {expected} at position {token.position} in {self.text!r}, "
+            f"got {what!r}"
+        )
+
+    # -- grammar ----------------------------------------------------------------------
+
+    def parse(self) -> Expression:
+        expression = self.or_expression()
+        token = self.peek()
+        if token.kind != "end":
+            raise self.fail(token, "end of expression")
+        return expression
+
+    def or_expression(self) -> Expression:
+        operands = [self.and_expression()]
+        while self.at_keyword("or"):
+            self.advance()
+            operands.append(self.and_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", tuple(operands))
+
+    def and_expression(self) -> Expression:
+        operands = [self.not_expression()]
+        while self.at_keyword("and"):
+            self.advance()
+            operands.append(self.not_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", tuple(operands))
+
+    def not_expression(self) -> Expression:
+        if self.at_keyword("not"):
+            self.advance()
+            return Not(self.not_expression())
+        return self.comparison()
+
+    def comparison(self) -> Expression:
+        left = self.additive()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            operator = "!=" if token.value == "<>" else token.value
+            return Comparison(operator, left, self.additive())
+        if self.at_keyword("is"):
+            self.advance()
+            negated = False
+            if self.at_keyword("not"):
+                self.advance()
+                negated = True
+            if not self.at_keyword("null"):
+                raise self.fail(self.peek(), "NULL after IS [NOT]")
+            self.advance()
+            return IsNull(left, negated=negated)
+        return left
+
+    def additive(self) -> Expression:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self.advance()
+                left = Arithmetic(token.value, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expression:
+        left = self.primary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self.advance()
+                left = Arithmetic(token.value, left, self.primary())
+            else:
+                return left
+
+    def primary(self) -> Expression:
+        token = self.advance()
+        if token.kind == "op" and token.value in ("-", "+"):
+            # Unary sign.  A signed numeric literal folds into the literal;
+            # anything else becomes ``0 - operand`` (the expression language
+            # has no dedicated negation node, and SQL NULL propagates the
+            # same way through both forms).
+            operand = self.primary()
+            if token.value == "+":
+                return operand
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return Arithmetic("-", Literal(0), operand)
+        if token.kind == "number":
+            text = token.value
+            return Literal(float(text) if ("." in text or "e" in text.lower()) else int(text))
+        if token.kind == "string":
+            return Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind == "op" and token.value == "(":
+            inner = self.or_expression()
+            self.expect_op(")")
+            return inner
+        if token.kind == "name":
+            lowered = token.value.lower()
+            if lowered == "null":
+                return Literal(None)
+            following = self.peek()
+            if (
+                lowered in _FUNCTION_NAMES
+                and following.kind == "op"
+                and following.value == "("
+            ):
+                self.advance()  # consume "("
+                args = [self.or_expression()]
+                while self.peek().kind == "op" and self.peek().value == ",":
+                    self.advance()
+                    args.append(self.or_expression())
+                self.expect_op(")")
+                return FunctionCall(lowered, tuple(args))
+            if lowered in _KEYWORDS:
+                raise self.fail(token, "an operand (keyword found)")
+            return Attribute(token.value)
+        raise self.fail(token, "an operand")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a string into an :class:`~repro.algebra.expressions.Expression`."""
+    if not isinstance(text, str):
+        raise TypeError(f"expected a string expression, got {text!r}")
+    if not text.strip():
+        raise ExpressionSyntaxError("empty expression")
+    return _Parser(text).parse()
+
+
+def as_expression(value: Union[str, Expression]) -> Expression:
+    """Coerce a fluent-API argument: strings are parsed, expressions pass through."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, str):
+        return parse_expression(value)
+    raise TypeError(
+        f"expected an Expression or a string expression, got {type(value).__name__}: "
+        f"{value!r}"
+    )

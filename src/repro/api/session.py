@@ -1,0 +1,319 @@
+"""Sessions: the front door of the library.
+
+:func:`connect` builds a :class:`Session` -- one object owning the engine
+catalog, the snapshot rewriter, the planner switch, the execution backend
+and a rewritten-plan cache -- and hands out lazy
+:class:`~repro.api.relation.TemporalRelation` objects::
+
+    from repro import connect
+
+    session = connect((0, 24))                      # or TimeDomain(0, 24)
+    works = session.load("works", ["name", "skill"], [
+        ("Ann", "SP", 3, 10), ("Joe", "NS", 8, 16),
+        ("Sam", "SP", 8, 16), ("Ann", "SP", 18, 20),
+    ])
+    onduty = works.where("skill = 'SP'").agg(cnt="count(*)")
+    print(onduty.pretty())          # executes through REWR + planner + backend
+    print(onduty.snapshot(8))       # the 08:00 snapshot, by reducibility
+    print(onduty.explain())         # the whole pipeline, rendered
+
+Executing the same query again reuses the cached rewritten plan (REWR and
+the planner are skipped entirely); :meth:`Session.cache_info` exposes the
+hit counters, and any DDL on the catalog invalidates stale entries via the
+catalog's schema version.
+
+The session shares its execution path -- a
+:class:`~repro.rewriter.pipeline.QueryPipeline` -- with the classic
+:class:`~repro.rewriter.middleware.SnapshotMiddleware`; :meth:`Session.middleware`
+returns that compatibility wrapper over the *same* pipeline for code that
+still wants the operator-tree interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from ..algebra.operators import Operator, RelationAccess
+from ..engine.catalog import Database
+from ..engine.table import Table
+from ..execution import ExecutionBackend
+from ..logical_model.period_relation import PeriodKRelation
+from ..planner import optimize as planner_optimize
+from ..rewriter.middleware import SnapshotMiddleware
+from ..rewriter.periodenc import T_BEGIN, T_END
+from ..rewriter.pipeline import PlanCacheInfo, QueryPipeline
+from ..rewriter.rewrite import SnapshotRewriter
+from ..temporal.timedomain import TimeDomain
+from .relation import FluentError, TemporalRelation
+
+__all__ = ["connect", "Session"]
+
+
+def _as_domain(domain: Union[TimeDomain, Tuple[int, int], int]) -> TimeDomain:
+    """Accept a TimeDomain, a ``(min, max)`` pair, or a size ``n`` (=> 0..n)."""
+    if isinstance(domain, TimeDomain):
+        return domain
+    if isinstance(domain, int):
+        return TimeDomain(0, domain)
+    if isinstance(domain, tuple) and len(domain) == 2:
+        return TimeDomain(domain[0], domain[1])
+    raise FluentError(
+        f"domain must be a TimeDomain, a (min, max) pair or an int, got {domain!r}"
+    )
+
+
+def connect(
+    domain: Union[TimeDomain, Tuple[int, int], int],
+    backend: "str | ExecutionBackend | None" = "memory",
+    planner: bool = True,
+    coalesce: str = "final",
+    use_temporal_aggregate: bool = True,
+    database: Optional[Database] = None,
+    plan_cache: bool = True,
+    rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
+) -> "Session":
+    """Open a snapshot-semantics session over a time domain.
+
+    Parameters
+    ----------
+    domain:
+        The time domain queries are interpreted over: a
+        :class:`~repro.temporal.timedomain.TimeDomain`, a ``(min, max)``
+        pair, or an int ``n`` meaning ``[0, n)``.
+    backend:
+        Where rewritten plans execute: ``"memory"`` (default), ``"sqlite"``,
+        or any :class:`~repro.execution.ExecutionBackend` instance.
+    planner:
+        Run the schema-aware planner on rewritten plans (on by default).
+    coalesce / use_temporal_aggregate:
+        The rewriter's Section 9 switches, as on
+        :class:`~repro.rewriter.middleware.SnapshotMiddleware`.
+    database:
+        Attach to an existing engine catalog instead of creating one.
+    plan_cache:
+        Cache rewritten plans keyed by structural query hash + planner
+        switch + catalog schema version; cache hits skip REWR and the
+        planner entirely.
+    """
+    pipeline = QueryPipeline(
+        _as_domain(domain),
+        database=database,
+        coalesce=coalesce,
+        use_temporal_aggregate=use_temporal_aggregate,
+        optimize=planner,
+        backend=backend,
+        rewriter_cls=rewriter_cls,
+        plan_cache=plan_cache,
+    )
+    return Session(pipeline)
+
+
+class Session:
+    """A connected snapshot-semantics session; build with :func:`connect`."""
+
+    def __init__(self, pipeline: QueryPipeline) -> None:
+        self._pipeline = pipeline
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def domain(self) -> TimeDomain:
+        return self._pipeline.domain
+
+    @property
+    def database(self) -> Database:
+        """The engine catalog this session owns (or was attached to)."""
+        return self._pipeline.database
+
+    @property
+    def pipeline(self) -> QueryPipeline:
+        """The shared execution path (REWR + planner + backend + plan cache)."""
+        return self._pipeline
+
+    @property
+    def planner(self) -> bool:
+        return self._pipeline.optimize
+
+    @planner.setter
+    def planner(self, value: bool) -> None:
+        self._pipeline.optimize = value
+
+    @property
+    def backend(self) -> "str | ExecutionBackend | None":
+        return self._pipeline.backend
+
+    @backend.setter
+    def backend(self, value: "str | ExecutionBackend | None") -> None:
+        self._pipeline.backend = value
+
+    def middleware(self) -> SnapshotMiddleware:
+        """The classic operator-tree interface over this session's pipeline."""
+        return SnapshotMiddleware.from_pipeline(self._pipeline)
+
+    def __repr__(self) -> str:
+        backend = self._pipeline.backend
+        backend_name = getattr(backend, "name", backend) or "memory"
+        return (
+            f"Session(domain={self._pipeline.domain!r}, backend={backend_name!r}, "
+            f"tables={list(self.database.names())})"
+        )
+
+    # -- relations --------------------------------------------------------------------
+
+    def table(self, name: str) -> TemporalRelation:
+        """A lazy relation over a catalog table (must exist already)."""
+        if name not in self.database:
+            raise FluentError(
+                f"unknown table {name!r}; loaded tables: "
+                f"{sorted(self.database.names())} (use session.load(...) first)"
+            )
+        return TemporalRelation(self, RelationAccess(name))
+
+    def load(
+        self,
+        name: str,
+        schema: Iterable[str],
+        rows: Iterable[Sequence[Any]],
+        period: Tuple[str, str] = (T_BEGIN, T_END),
+    ) -> TemporalRelation:
+        """Create a period table and return a lazy relation over it.
+
+        ``schema`` lists the *data* attributes; the two period attributes
+        are appended automatically (with the names given in ``period``) and
+        each row is expected to end with its begin and end time points.
+        """
+        self._pipeline.load_table(name, schema, rows, period)
+        return TemporalRelation(self, RelationAccess(name))
+
+    def load_relation(self, name: str, relation: PeriodKRelation) -> TemporalRelation:
+        """Register a logical-model relation (PERIODENC-encoded) and wrap it."""
+        self._pipeline.load_period_relation(name, relation)
+        return TemporalRelation(self, RelationAccess(name))
+
+    def query(self, plan: Operator) -> TemporalRelation:
+        """Wrap a hand-built operator tree as a lazy relation.
+
+        The bridge for existing code and for differential testing: a wrapped
+        tree executes through exactly the same pipeline (and plan cache) as
+        a fluent chain.
+        """
+        if not isinstance(plan, Operator):
+            raise FluentError(f"query expects an Operator tree, got {plan!r}")
+        return TemporalRelation(self, plan)
+
+    # -- execution (operator-tree level; the relations call into these) ---------------
+
+    def execute(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        final_coalesce: bool = False,
+    ) -> Table:
+        """Evaluate a logical query under snapshot semantics; a period table."""
+        return self._pipeline.execute(query, statistics, backend, final_coalesce)
+
+    def execute_decoded(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        final_coalesce: bool = False,
+    ) -> PeriodKRelation:
+        """Evaluate and decode into a period K-relation (N^T)."""
+        return self._pipeline.execute_decoded(query, statistics, backend, final_coalesce)
+
+    def check(self, query: Operator, **kwargs: Any):
+        """Snapshot-conformance check of one query against the oracle.
+
+        Runs :func:`repro.conformance.check_conformance` over this session's
+        catalog and domain, defaulting the rewriter configuration
+        (``rewriter_cls``, ``coalesce``, ``use_temporal_aggregate``) to the
+        *session's own* settings -- so the certified configuration is the one
+        this session actually executes.  Any keyword argument passes through
+        and overrides (``backends=``, ``optimize_modes=``, ``points=``,
+        ``rewriter_cls=``, ...).
+        """
+        from ..conformance import check_conformance
+
+        kwargs.setdefault("rewriter_cls", self._pipeline.rewriter_cls)
+        kwargs.setdefault("coalesce", self._pipeline.coalesce)
+        kwargs.setdefault("use_temporal_aggregate", self._pipeline.use_temporal_aggregate)
+        return check_conformance(query, self.database, self.domain, **kwargs)
+
+    # -- plan cache -------------------------------------------------------------------
+
+    def cache_info(self) -> PlanCacheInfo:
+        """Lifetime ``(hits, misses, size)`` of the rewritten-plan cache."""
+        return self._pipeline.cache_info()
+
+    def clear_plan_cache(self) -> None:
+        self._pipeline.clear_plan_cache()
+
+    # -- explain ----------------------------------------------------------------------
+
+    def explain_relation(self, relation: TemporalRelation) -> str:
+        """The rendered pipeline for one relation; see ``TemporalRelation.explain``."""
+        query = relation.plan
+        final_coalesce = relation._final_coalesce
+        sections = ["logical plan:", _indent(query.explain_tree())]
+
+        # Stage views (bypassing the cache so both stages are visible).
+        rewritten = self._pipeline.rewriter.rewrite(query)
+        planner_statistics: Dict[str, int] = {}
+        if final_coalesce:
+            from ..rewriter.operators import CoalesceOperator
+
+            rewritten = CoalesceOperator(rewritten)
+        sections += ["", "REWR plan:", _indent(rewritten.explain_tree())]
+        if self._pipeline.optimize:
+            optimized = planner_optimize(rewritten, self.database, planner_statistics)
+            sections += [
+                "",
+                "optimized plan (planner on):",
+                _indent(optimized.explain_tree()),
+            ]
+            rules = {
+                key: value
+                for key, value in sorted(planner_statistics.items())
+                if key.startswith("planner.")
+            }
+            sections += ["", "planner rules fired:"]
+            sections += (
+                [f"  {key} = {value}" for key, value in rules.items()]
+                if rules
+                else ["  (none)"]
+            )
+        else:
+            sections += ["", "planner: off"]
+
+        # One observed execution for the executor's strategy counters (this
+        # goes through the cache, warming it as a side effect).
+        execution_statistics: Dict[str, int] = {}
+        self._pipeline.execute(
+            query, execution_statistics, final_coalesce=final_coalesce
+        )
+        strategies = {
+            key: value
+            for key, value in sorted(execution_statistics.items())
+            if key.startswith("join_strategy.")
+        }
+        backend = self._pipeline.backend
+        backend_name = getattr(backend, "name", backend) or "memory"
+        sections += ["", f"execution (backend={backend_name!r}):"]
+        sections += (
+            [f"  {key} = {value}" for key, value in strategies.items()]
+            if strategies
+            else ["  (no joins)"]
+        )
+        if self._pipeline.caching:
+            if execution_statistics.get("plan_cache.hits"):
+                cache_line = "hit (REWR + planner skipped)"
+            else:
+                cache_line = "miss (plan now cached)"
+            sections += ["", f"plan cache: {cache_line}"]
+        return "\n".join(sections)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,26 +1,26 @@
-"""The execution-backend abstraction and its registry.
+"""The in-memory execution backend plus re-exports of the host contract.
 
-The paper's system is *middleware*: rewritten plans are ordinary multiset
-queries that any host DBMS can run.  :class:`ExecutionBackend` captures the
-contract a host needs to satisfy -- execute a logical plan against an engine
-catalog and return a period :class:`~repro.engine.table.Table` -- so the
-middleware, experiment drivers and benchmarks can switch hosts through a
-``backend=`` parameter instead of being welded to the in-memory engine.
-
-Backends are looked up by name through a registry (``"memory"`` and
-``"sqlite"`` ship here; PostgreSQL/DuckDB backends can register later
-without touching callers).  :func:`resolve_backend` also accepts an already
-constructed backend instance, which callers use to reuse a pre-loaded
-connection across queries.
+The :class:`~repro.execution.ExecutionBackend` protocol and the backend
+registry live in :mod:`repro.execution` (below the rewriter, so the
+middleware and the fluent API import them without cycles); this module
+re-exports them for compatibility and contributes the default backend: the
+engine of :mod:`repro.engine.executor`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, Optional
 
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.table import Table
+from ..execution import (
+    BackendError,
+    ExecutionBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 
 __all__ = [
     "BackendError",
@@ -30,30 +30,6 @@ __all__ = [
     "resolve_backend",
     "available_backends",
 ]
-
-
-class BackendError(Exception):
-    """Raised when a backend cannot be resolved or a plan cannot run on it."""
-
-
-@runtime_checkable
-class ExecutionBackend(Protocol):
-    """Executes logical plans (including the rewriter's physical operators).
-
-    ``statistics``, when given, receives backend-specific counters merged
-    into the mapping (the in-memory engine's operator counts, the SQL
-    backends' statement/row counts).
-    """
-
-    name: str
-
-    def execute(
-        self,
-        plan: Operator,
-        database: Database,
-        statistics: Optional[Dict[str, int]] = None,
-    ) -> Table:
-        ...
 
 
 class InMemoryBackend:
@@ -73,34 +49,6 @@ class InMemoryBackend:
 
     def __repr__(self) -> str:
         return "InMemoryBackend()"
-
-
-_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
-
-
-def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
-    """Register a backend factory under a name (later wins, like a catalog)."""
-    _REGISTRY[name] = factory
-
-
-def available_backends() -> Tuple[str, ...]:
-    """The registered backend names, in registration order."""
-    return tuple(_REGISTRY)
-
-
-def resolve_backend(backend: "str | ExecutionBackend") -> ExecutionBackend:
-    """Turn a backend name or instance into a backend instance."""
-    if isinstance(backend, str):
-        try:
-            factory = _REGISTRY[backend]
-        except KeyError:
-            raise BackendError(
-                f"unknown backend {backend!r}; available: {sorted(_REGISTRY)}"
-            ) from None
-        return factory()
-    if isinstance(backend, ExecutionBackend):
-        return backend
-    raise BackendError(f"not a backend: {backend!r}")
 
 
 register_backend(InMemoryBackend.name, InMemoryBackend)

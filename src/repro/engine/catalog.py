@@ -24,6 +24,19 @@ class Database:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._periods: Dict[str, Tuple[str, str]] = {}
+        self._schema_version = 0
+
+    @property
+    def schema_version(self) -> int:
+        """A counter bumped by every DDL change (create/replace/drop).
+
+        Rewritten plans depend on table schemas and period metadata, so plan
+        caches (:class:`repro.rewriter.pipeline.QueryPipeline`) key on this
+        version to invalidate automatically when the catalog shape changes.
+        Row-level DML (:meth:`insert`) does not bump it -- rewriting never
+        looks at the data.
+        """
+        return self._schema_version
 
     # -- DDL ----------------------------------------------------------------------------------
 
@@ -46,6 +59,7 @@ class Database:
         else:
             self._periods.pop(name, None)
         self._tables[name] = table
+        self._schema_version += 1
         return table
 
     def register(self, table: Table, period: Optional[Tuple[str, str]] = None) -> Table:
@@ -55,6 +69,7 @@ class Database:
     def drop_table(self, name: str) -> None:
         self._tables.pop(name, None)
         self._periods.pop(name, None)
+        self._schema_version += 1
 
     # -- DML -----------------------------------------------------------------------------------
 

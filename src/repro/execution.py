@@ -1,0 +1,97 @@
+"""The execution-host contract shared by the middleware, backends and API.
+
+The paper's system is *middleware*: rewritten plans are ordinary multiset
+queries that any host DBMS can run.  :class:`ExecutionBackend` captures the
+contract a host needs to satisfy -- execute a logical plan against an engine
+catalog and return a period :class:`~repro.engine.table.Table` -- together
+with the registry that looks hosts up by name.
+
+The contract lives here, *below* both :mod:`repro.rewriter` and
+:mod:`repro.backends`, so that the middleware, the fluent session API
+(:mod:`repro.api`) and the backends themselves can all import it without
+creating an import cycle (``rewriter -> backends -> rewriter``, which used
+to be papered over with a ``TYPE_CHECKING`` guard).  This module depends
+only on the algebra and the engine substrate.
+
+The built-in backends (``"memory"``, ``"sqlite"``) register themselves when
+:mod:`repro.backends` is imported; :func:`resolve_backend` imports that
+package on the first lookup miss, so callers never need to trigger the
+registration by hand.  Additional backends (PostgreSQL, DuckDB, ...) can
+register later without touching callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from .algebra.operators import Operator
+from .engine.catalog import Database
+from .engine.table import Table
+
+__all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]
+
+
+class BackendError(Exception):
+    """Raised when a backend cannot be resolved or a plan cannot run on it."""
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Executes logical plans (including the rewriter's physical operators).
+
+    ``statistics``, when given, receives backend-specific counters merged
+    into the mapping (the in-memory engine's operator counts, the SQL
+    backends' statement/row counts).
+    """
+
+    name: str
+
+    def execute(
+        self,
+        plan: Operator,
+        database: Database,
+        statistics: Optional[Dict[str, int]] = None,
+    ) -> Table:
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend factory under a name (later wins, like a catalog)."""
+    _REGISTRY[name] = factory
+
+
+def _ensure_builtin_backends() -> None:
+    """Import :mod:`repro.backends`, which registers ``memory``/``sqlite``."""
+    from . import backends  # noqa: F401  (imported for its registration side effect)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, in registration order."""
+    _ensure_builtin_backends()
+    return tuple(_REGISTRY)
+
+
+def resolve_backend(backend: "str | ExecutionBackend") -> ExecutionBackend:
+    """Turn a backend name or instance into a backend instance."""
+    if isinstance(backend, str):
+        factory = _REGISTRY.get(backend)
+        if factory is None:
+            _ensure_builtin_backends()
+            factory = _REGISTRY.get(backend)
+        if factory is None:
+            raise BackendError(
+                f"unknown backend {backend!r}; available: {sorted(_REGISTRY)}"
+            )
+        return factory()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    raise BackendError(f"not a backend: {backend!r}")

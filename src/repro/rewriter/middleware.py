@@ -1,4 +1,4 @@
-"""The snapshot-semantics middleware: the user-facing entry point.
+"""The snapshot-semantics middleware: the classic user-facing entry point.
 
 :class:`SnapshotMiddleware` plays the role of the database middleware the
 paper builds: it sits in front of an ordinary multiset engine whose tables
@@ -9,7 +9,21 @@ plans on the engine.  Results come back either as period tables (the raw
 engine output) or decoded into period K-relations of the logical model for
 programmatic use and verification.
 
-Typical use::
+Since the fluent session API (:mod:`repro.api`) became the canonical public
+surface, this class is a thin compatibility layer: every method delegates
+to the shared :class:`~repro.rewriter.pipeline.QueryPipeline`, the single
+execution path both surfaces use.  Prefer :func:`repro.api.connect` in new
+code::
+
+    from repro import connect
+
+    session = connect((0, 24))
+    works = session.load("works", ["name", "skill"],
+                         [("Ann", "SP", 3, 10), ("Joe", "NS", 8, 16)])
+    works.where("skill = 'SP'").agg(cnt="count(*)").pretty()
+
+The operator-tree interface stays supported (and is what the conformance
+harness drives)::
 
     from repro import SnapshotMiddleware, TimeDomain
     from repro.algebra import *
@@ -29,22 +43,16 @@ Typical use::
 
 from __future__ import annotations
 
-import copy
-from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence, Tuple
-
-if TYPE_CHECKING:  # avoids the runtime import cycle rewriter -> backends -> rewriter
-    from ..backends.base import ExecutionBackend
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
-from ..engine.executor import execute as engine_execute
-from ..planner import optimize as planner_optimize
 from ..engine.table import Table
+from ..execution import ExecutionBackend
 from ..logical_model.period_relation import PeriodKRelation
-from ..semirings.standard import NATURAL
-from ..temporal.period_semiring import PeriodSemiring
 from ..temporal.timedomain import TimeDomain
-from .periodenc import T_BEGIN, T_END, period_decode, period_encode
+from .periodenc import T_BEGIN, T_END
+from .pipeline import QueryPipeline
 from .rewrite import SnapshotRewriter
 
 __all__ = ["SnapshotMiddleware"]
@@ -74,7 +82,7 @@ class SnapshotMiddleware:
     backend:
         Default execution host for rewritten plans: a registered backend
         name (``"memory"``, ``"sqlite"``) or an
-        :class:`~repro.backends.ExecutionBackend` instance.  ``None`` keeps
+        :class:`~repro.execution.ExecutionBackend` instance.  ``None`` keeps
         the in-memory engine; :meth:`execute` can override per query.
     rewriter_cls:
         The :class:`~repro.rewriter.rewrite.SnapshotRewriter` subclass that
@@ -93,19 +101,63 @@ class SnapshotMiddleware:
         backend: "str | ExecutionBackend | None" = None,
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
     ) -> None:
-        self.domain = domain
-        self.database = database if database is not None else Database()
-        self.period_semiring = PeriodSemiring(NATURAL, domain)
-        self.optimize = optimize
-        self.backend = backend
-        self._rewriter = rewriter_cls(
-            self.database,
+        self._pipeline = QueryPipeline(
             domain,
+            database=database,
             coalesce=coalesce,
             use_temporal_aggregate=use_temporal_aggregate,
+            optimize=optimize,
+            backend=backend,
+            rewriter_cls=rewriter_cls,
         )
 
-    # -- data loading ----------------------------------------------------------------------------------
+    @classmethod
+    def from_pipeline(cls, pipeline: QueryPipeline) -> "SnapshotMiddleware":
+        """Wrap an existing pipeline (shares its catalog, cache and backend)."""
+        middleware = cls.__new__(cls)
+        middleware._pipeline = pipeline
+        return middleware
+
+    # -- delegated state ---------------------------------------------------------------
+
+    @property
+    def pipeline(self) -> QueryPipeline:
+        """The shared execution path (also used by :class:`repro.api.Session`)."""
+        return self._pipeline
+
+    @property
+    def domain(self) -> TimeDomain:
+        return self._pipeline.domain
+
+    @property
+    def database(self) -> Database:
+        return self._pipeline.database
+
+    @property
+    def period_semiring(self):
+        return self._pipeline.period_semiring
+
+    @property
+    def optimize(self) -> bool:
+        return self._pipeline.optimize
+
+    @optimize.setter
+    def optimize(self, value: bool) -> None:
+        self._pipeline.optimize = value
+
+    @property
+    def backend(self) -> "str | ExecutionBackend | None":
+        return self._pipeline.backend
+
+    @backend.setter
+    def backend(self, value: "str | ExecutionBackend | None") -> None:
+        self._pipeline.backend = value
+
+    @property
+    def _rewriter(self) -> SnapshotRewriter:
+        return self._pipeline.rewriter
+
+    # -- data loading ------------------------------------------------------------------
 
     def load_table(
         self,
@@ -120,15 +172,13 @@ class SnapshotMiddleware:
         appended automatically (with the names given in ``period``) and each
         row is expected to end with its begin and end time points.
         """
-        full_schema = tuple(schema) + tuple(period)
-        return self.database.create_table(name, full_schema, rows, period=period)
+        return self._pipeline.load_table(name, schema, rows, period)
 
     def load_period_relation(self, name: str, relation: PeriodKRelation) -> Table:
         """Register a logical-model relation under its PERIODENC encoding."""
-        table = period_encode(relation, name)
-        return self.database.register(table, period=(T_BEGIN, T_END))
+        return self._pipeline.load_period_relation(name, relation)
 
-    # -- query execution ------------------------------------------------------------------------------------
+    # -- query execution ---------------------------------------------------------------
 
     def rewrite(
         self, query: Operator, statistics: Optional[Dict[str, int]] = None
@@ -138,10 +188,7 @@ class SnapshotMiddleware:
         ``statistics``, when given, receives the planner's ``planner.*`` rule
         counters (see :mod:`repro.planner`).
         """
-        plan = self._rewriter.rewrite(query)
-        if self.optimize:
-            plan = planner_optimize(plan, self.database, statistics)
-        return plan
+        return self._pipeline.rewrite(query, statistics)
 
     def execute(
         self,
@@ -156,25 +203,7 @@ class SnapshotMiddleware:
         ``statistics`` mapping collects both the planner's rule counters and
         the executor's counters (``join_strategy.*`` and friends).
         """
-        chosen = backend if backend is not None else self.backend
-        plan = self.rewrite(query, statistics)
-        if chosen is None or chosen == "memory":
-            return engine_execute(plan, self.database, statistics)
-        from ..backends.base import resolve_backend
-
-        resolved = resolve_backend(chosen)
-        if getattr(resolved, "optimize", False):
-            # The middleware already applied (or deliberately skipped, with
-            # ``optimize=False``) the planner; the backend must not spend a
-            # redundant pass on the plan -- or worse, override that choice.
-            # The flag is flipped on a shallow copy because the resolved
-            # backend may be a shared session instance (or come from a
-            # registry factory handing out a shared object) that the
-            # middleware does not own; outside middleware-routed plans it
-            # keeps its own setting.
-            resolved = copy.copy(resolved)
-            resolved.optimize = False
-        return resolved.execute(plan, self.database, statistics)
+        return self._pipeline.execute(query, statistics, backend)
 
     def execute_decoded(
         self,
@@ -183,9 +212,7 @@ class SnapshotMiddleware:
         backend: "str | ExecutionBackend | None" = None,
     ) -> PeriodKRelation:
         """Evaluate and decode the result into a period K-relation (N^T)."""
-        return period_decode(
-            self.execute(query, statistics, backend=backend), self.period_semiring
-        )
+        return self._pipeline.execute_decoded(query, statistics, backend)
 
     def execute_snapshot(self, query: Operator, point: int):
         """Evaluate under snapshot semantics and slice the result at ``point``.
@@ -193,18 +220,10 @@ class SnapshotMiddleware:
         Returns a non-temporal K-relation -- by snapshot-reducibility this
         equals evaluating the query over the timeslice of the database.
         """
-        return self.execute_decoded(query).timeslice(point)
+        return self._pipeline.execute_snapshot(query, point)
 
-    # -- introspection --------------------------------------------------------------------------------------------
+    # -- introspection -----------------------------------------------------------------
 
     def explain(self, query: Operator) -> str:
-        """A compact, indented rendering of the rewritten plan."""
-        lines: list[str] = []
-
-        def render(node: Operator, depth: int) -> None:
-            lines.append("  " * depth + repr(node))
-            for child in node.children():
-                render(child, depth + 1)
-
-        render(self.rewrite(query), 0)
-        return "\n".join(lines)
+        """The rewritten plan, rendered with :meth:`Operator.explain_tree`."""
+        return self._pipeline.explain(query)

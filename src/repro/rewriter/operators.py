@@ -58,6 +58,9 @@ class CoalesceOperator(PhysicalOperator):
     def with_children(self, child: Operator) -> "CoalesceOperator":
         return CoalesceOperator(child, self.period)
 
+    def __repr__(self) -> str:
+        return f"Coalesce(period={self.period[0]}..{self.period[1]})"
+
     # -- planner hooks -------------------------------------------------------------------
 
     def planner_schema(self, child_schemas):
@@ -172,6 +175,10 @@ class SplitOperator(PhysicalOperator):
 
     def with_children(self, left: Operator, right: Operator) -> "SplitOperator":
         return SplitOperator(left, right, self.group_by, self.period)
+
+    def __repr__(self) -> str:
+        groups = ", ".join(self.group_by) or "()"
+        return f"Split(group by {groups})"
 
     # -- planner hooks -------------------------------------------------------------------
 
@@ -290,6 +297,11 @@ class TemporalAggregateOperator(PhysicalOperator):
         return TemporalAggregateOperator(
             child, self.group_by, self.aggregates, self.period
         )
+
+    def __repr__(self) -> str:
+        groups = ", ".join(self.group_by) or "()"
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"TemporalAggregate(group by {groups}; {aggs})"
 
     # -- planner hooks -------------------------------------------------------------------
 

@@ -1,0 +1,246 @@
+"""The shared snapshot execution path: REWR + planner + backend dispatch.
+
+:class:`QueryPipeline` is the single implementation behind both user-facing
+surfaces -- the classic :class:`~repro.rewriter.middleware.SnapshotMiddleware`
+and the fluent session API (:mod:`repro.api`).  It owns the catalog, the
+rewriter, the planner switch, the default execution backend and (optionally)
+a **rewritten-plan cache**:
+
+* plans are keyed by the structural hash/equality of the logical query
+  (every expression and operator node is an immutable, hashable dataclass),
+  the planner switch, and the catalog's schema version;
+* a cache hit skips REWR *and* the planner entirely -- the pipeline reports
+  ``plan_cache.hits`` / ``plan_cache.misses`` through the statistics
+  mapping, and ``rewrite.invocations`` is only counted when the rewriter
+  actually runs, so tests and benchmarks can assert the skip.
+
+Mutating the catalog's shape (create/replace/drop of a table) invalidates
+cached plans automatically through
+:attr:`repro.engine.catalog.Database.schema_version`; inserting rows does
+not, because rewriting never looks at the data.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
+
+from ..algebra.operators import Operator
+from ..engine.catalog import Database
+from ..engine.executor import execute as engine_execute
+from ..engine.table import Table
+from ..execution import ExecutionBackend, resolve_backend
+from ..logical_model.period_relation import PeriodKRelation
+from ..planner import optimize as planner_optimize
+from ..semirings.standard import NATURAL
+from ..temporal.period_semiring import PeriodSemiring
+from ..temporal.timedomain import TimeDomain
+from .operators import CoalesceOperator
+from .periodenc import T_BEGIN, T_END, period_decode, period_encode
+from .rewrite import SnapshotRewriter
+
+__all__ = ["QueryPipeline", "PlanCacheInfo"]
+
+
+class PlanCacheInfo(NamedTuple):
+    """Lifetime counters of a pipeline's rewritten-plan cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class QueryPipeline:
+    """Rewrites snapshot queries and executes them on a backend.
+
+    Parameters mirror :class:`~repro.rewriter.middleware.SnapshotMiddleware`
+    (which delegates everything here); ``plan_cache=True`` additionally
+    memoises rewritten plans across executions.
+    """
+
+    def __init__(
+        self,
+        domain: TimeDomain,
+        database: Optional[Database] = None,
+        coalesce: str = "final",
+        use_temporal_aggregate: bool = True,
+        optimize: bool = True,
+        backend: "str | ExecutionBackend | None" = None,
+        rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
+        plan_cache: bool = False,
+    ) -> None:
+        self.domain = domain
+        self.database = database if database is not None else Database()
+        self.period_semiring = PeriodSemiring(NATURAL, domain)
+        self.optimize = optimize
+        self.backend = backend
+        # Kept alongside the rewriter instance so callers that re-create the
+        # configuration elsewhere (the conformance harness builds fresh
+        # middlewares per execution) can mirror this pipeline exactly.
+        self.coalesce = coalesce
+        self.use_temporal_aggregate = use_temporal_aggregate
+        self.rewriter_cls = rewriter_cls
+        self.rewriter = rewriter_cls(
+            self.database,
+            domain,
+            coalesce=coalesce,
+            use_temporal_aggregate=use_temporal_aggregate,
+        )
+        self._cache: Optional[Dict[Tuple[Any, ...], Operator]] = (
+            {} if plan_cache else None
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- data loading -----------------------------------------------------------------
+
+    def load_table(
+        self,
+        name: str,
+        schema: Iterable[str],
+        rows: Iterable[Sequence[Any]],
+        period: Tuple[str, str] = (T_BEGIN, T_END),
+    ) -> Table:
+        """Create a period table; each row already carries its begin/end values."""
+        full_schema = tuple(schema) + tuple(period)
+        return self.database.create_table(name, full_schema, rows, period=period)
+
+    def load_period_relation(self, name: str, relation: PeriodKRelation) -> Table:
+        """Register a logical-model relation under its PERIODENC encoding."""
+        table = period_encode(relation, name)
+        return self.database.register(table, period=(T_BEGIN, T_END))
+
+    # -- plan cache -------------------------------------------------------------------
+
+    @property
+    def caching(self) -> bool:
+        return self._cache is not None
+
+    def cache_info(self) -> PlanCacheInfo:
+        return PlanCacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._cache) if self._cache is not None else 0,
+        )
+
+    def clear_plan_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _cache_key(self, query: Operator, final_coalesce: bool) -> Tuple[Any, ...]:
+        return (self.database.schema_version, self.optimize, final_coalesce, query)
+
+    # -- rewriting --------------------------------------------------------------------
+
+    def rewrite(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        final_coalesce: bool = False,
+    ) -> Operator:
+        """REWR(query) after optimisation (if enabled), through the cache.
+
+        ``final_coalesce`` wraps the rewritten plan in one more coalesce
+        step -- the fluent API's ``.coalesce()``, meaningful when the
+        rewriter runs with ``coalesce="none"`` (idempotent otherwise).
+
+        ``statistics`` receives ``planner.*`` rule counters on an actual
+        rewrite, plus ``plan_cache.hits`` / ``plan_cache.misses`` when the
+        cache is enabled and ``rewrite.invocations`` whenever REWR runs.
+        """
+        if self._cache is None:
+            return self._rewrite_uncached(query, statistics, final_coalesce)
+        key = self._cache_key(query, final_coalesce)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            if statistics is not None:
+                statistics["plan_cache.hits"] = (
+                    statistics.get("plan_cache.hits", 0) + 1
+                )
+            return cached
+        plan = self._rewrite_uncached(query, statistics, final_coalesce)
+        self._cache_misses += 1
+        if statistics is not None:
+            statistics["plan_cache.misses"] = (
+                statistics.get("plan_cache.misses", 0) + 1
+            )
+        self._cache[key] = plan
+        return plan
+
+    def _rewrite_uncached(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]],
+        final_coalesce: bool,
+    ) -> Operator:
+        plan = self.rewriter.rewrite(query)
+        if final_coalesce:
+            plan = CoalesceOperator(plan)
+        if statistics is not None:
+            statistics["rewrite.invocations"] = (
+                statistics.get("rewrite.invocations", 0) + 1
+            )
+        if self.optimize:
+            plan = planner_optimize(plan, self.database, statistics)
+        return plan
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        final_coalesce: bool = False,
+    ) -> Table:
+        """Evaluate ``query`` under snapshot semantics; return a period table."""
+        plan = self.rewrite(query, statistics, final_coalesce)
+        return self.execute_rewritten(plan, statistics, backend)
+
+    def execute_rewritten(
+        self,
+        plan: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+    ) -> Table:
+        """Run an already rewritten/optimized plan on the chosen backend."""
+        chosen = backend if backend is not None else self.backend
+        if chosen is None or chosen == "memory":
+            return engine_execute(plan, self.database, statistics)
+        resolved = resolve_backend(chosen)
+        if getattr(resolved, "optimize", False):
+            # The pipeline already applied (or deliberately skipped, with
+            # ``optimize=False``) the planner; the backend must not spend a
+            # redundant pass on the plan -- or worse, override that choice.
+            # The flag is flipped on a shallow copy because the resolved
+            # backend may be a shared session instance (or come from a
+            # registry factory handing out a shared object) that the
+            # pipeline does not own; outside pipeline-routed plans it keeps
+            # its own setting.
+            resolved = copy.copy(resolved)
+            resolved.optimize = False
+        return resolved.execute(plan, self.database, statistics)
+
+    def execute_decoded(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        final_coalesce: bool = False,
+    ) -> PeriodKRelation:
+        """Evaluate and decode the result into a period K-relation (N^T)."""
+        return period_decode(
+            self.execute(query, statistics, backend, final_coalesce),
+            self.period_semiring,
+        )
+
+    def execute_snapshot(self, query: Operator, point: int):
+        """Evaluate under snapshot semantics and slice the result at ``point``."""
+        return self.execute_decoded(query).timeslice(point)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def explain(self, query: Operator) -> str:
+        """The rewritten plan, rendered with :meth:`Operator.explain_tree`."""
+        return self.rewrite(query).explain_tree()

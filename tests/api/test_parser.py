@@ -1,0 +1,177 @@
+"""The fluent API's string-expression parser vs. hand-built expression trees."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    _FUNCTIONS,
+    Arithmetic,
+    Attribute,
+    BooleanOp,
+    Comparison,
+    FunctionCall,
+    IsNull,
+    Literal,
+    Not,
+    and_,
+    attr,
+    lit,
+    or_,
+)
+from repro.api.parser import ExpressionSyntaxError, as_expression, parse_expression
+
+
+class TestLiteralsAndAttributes:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("42", Literal(42)),
+            ("3.5", Literal(3.5)),
+            ("1e-3", Literal(1e-3)),
+            ("'SP'", Literal("SP")),
+            ("'it''s'", Literal("it's")),
+            ("''", Literal("")),
+            ("NULL", Literal(None)),
+            ("null", Literal(None)),
+            ("skill", Attribute("skill")),
+            ("t_begin", Attribute("t_begin")),
+        ],
+    )
+    def test_primaries(self, text, expected):
+        assert parse_expression(text) == expected
+
+
+class TestComparisonsAndBooleans:
+    def test_comparison(self):
+        assert parse_expression("skill = 'SP'") == Comparison(
+            "=", attr("skill"), lit("SP")
+        )
+
+    def test_diamond_is_not_equal(self):
+        assert parse_expression("a <> b") == Comparison("!=", attr("a"), attr("b"))
+
+    @pytest.mark.parametrize("op", ["!=", "<", "<=", ">", ">="])
+    def test_all_comparators(self, op):
+        assert parse_expression(f"x {op} 1") == Comparison(op, attr("x"), lit(1))
+
+    def test_and_or_precedence(self):
+        # OR binds loosest: a AND b OR c  ==  (a AND b) OR c
+        parsed = parse_expression("x = 1 and y = 2 or z = 3")
+        assert parsed == or_(
+            and_(
+                Comparison("=", attr("x"), lit(1)), Comparison("=", attr("y"), lit(2))
+            ),
+            Comparison("=", attr("z"), lit(3)),
+        )
+
+    def test_parentheses_override_precedence(self):
+        parsed = parse_expression("x = 1 and (y = 2 or z = 3)")
+        assert parsed == and_(
+            Comparison("=", attr("x"), lit(1)),
+            or_(Comparison("=", attr("y"), lit(2)), Comparison("=", attr("z"), lit(3))),
+        )
+
+    def test_not_and_keyword_case(self):
+        assert parse_expression("NOT x = 1 AND y = 2") == and_(
+            Not(Comparison("=", attr("x"), lit(1))),
+            Comparison("=", attr("y"), lit(2)),
+        )
+
+    def test_chained_and_collapses_to_one_node(self):
+        parsed = parse_expression("a = 1 and b = 2 and c = 3")
+        assert isinstance(parsed, BooleanOp)
+        assert parsed.op == "and"
+        assert len(parsed.operands) == 3
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("x is null") == IsNull(attr("x"))
+        assert parse_expression("x IS NOT NULL") == IsNull(attr("x"), negated=True)
+
+
+class TestArithmeticAndFunctions:
+    def test_precedence_of_times_over_plus(self):
+        assert parse_expression("a + b * 2") == Arithmetic(
+            "+", attr("a"), Arithmetic("*", attr("b"), lit(2))
+        )
+
+    def test_left_associativity(self):
+        assert parse_expression("a - b - c") == Arithmetic(
+            "-", Arithmetic("-", attr("a"), attr("b")), attr("c")
+        )
+
+    def test_function_call(self):
+        assert parse_expression("least(t_begin, 5)") == FunctionCall(
+            "least", (attr("t_begin"), lit(5))
+        )
+
+    def test_function_names_stay_in_sync_with_the_expression_language(self):
+        from repro.api.parser import _FUNCTION_NAMES
+
+        assert sorted(_FUNCTION_NAMES) == sorted(_FUNCTIONS)
+
+    def test_function_name_without_call_is_an_attribute(self):
+        # A column can legitimately be called "abs"; only "abs(" is a call.
+        assert parse_expression("abs") == Attribute("abs")
+
+    def test_arithmetic_inside_comparison(self):
+        assert parse_expression("salary * 12 > 100000") == Comparison(
+            ">", Arithmetic("*", attr("salary"), lit(12)), lit(100000)
+        )
+
+    def test_parsed_expression_evaluates_like_handwritten(self):
+        parsed = parse_expression("greatest(a, b) - least(a, b)")
+        assert parsed.evaluate({"a": 3, "b": 10}) == 7
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("-2", Literal(-2)),
+            ("-2.5", Literal(-2.5)),
+            ("+3", Literal(3)),
+            ("1e5", Literal(1e5)),
+            ("2E10", Literal(2e10)),
+            ("1e-3", Literal(1e-3)),
+            ("val > -2", Comparison(">", attr("val"), lit(-2))),
+            ("-x", Arithmetic("-", lit(0), attr("x"))),
+            ("- -2", Literal(2)),
+        ],
+    )
+    def test_signed_numbers_and_unary_minus(self, text, expected):
+        assert parse_expression(text) == expected
+
+    def test_binary_minus_still_binds_left(self):
+        # "a - -2" is a binary minus with a negative literal operand.
+        assert parse_expression("a - -2") == Arithmetic("-", attr("a"), lit(-2))
+        assert parse_expression("-x + 1").evaluate({"x": 4}) == -3
+
+
+class TestErrorsAndCoercion:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "x =",
+            "= 1",
+            "(x = 1",
+            "x = 1)",
+            "x == 1",
+            "and",
+            "x is 1",
+            "'unterminated",
+            "a ? b",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_expression(bad)
+
+    def test_error_messages_carry_position_and_text(self):
+        with pytest.raises(ExpressionSyntaxError, match="position"):
+            parse_expression("x = ")
+
+    def test_as_expression_passthrough_and_coercion(self):
+        tree = Comparison("=", attr("x"), lit(1))
+        assert as_expression(tree) is tree
+        assert as_expression("x = 1") == tree
+        with pytest.raises(TypeError):
+            as_expression(42)

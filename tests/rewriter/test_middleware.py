@@ -99,8 +99,10 @@ class TestRunningExample:
 
     def test_explain_renders_plan(self, middleware):
         text = middleware.explain(query_onduty())
-        assert "CoalesceOperator" in text
-        assert "TemporalAggregateOperator" in text
+        assert text == middleware.rewrite(query_onduty()).explain_tree()
+        assert text.startswith("Coalesce(period=t_begin..t_end)")
+        assert "└─ TemporalAggregate(group by (); count(__agg_arg_0) AS cnt)" in text
+        assert "Relation(works)" in text
 
 
 class TestDataLoading:

@@ -18,6 +18,65 @@ from repro import (
 )
 
 
+#: The pinned package-level API surface.  A failure here means an export was
+#: added or removed: if intentional, update this snapshot *in the same PR*
+#: (it is the contract the README/quickstart and downstream users code
+#: against); if not, the import graph changed by accident.
+EXPECTED_REPRO_EXPORTS = {
+    "__version__",
+    # fluent session API (canonical front door)
+    "connect",
+    "Session",
+    "TemporalRelation",
+    "GroupedRelation",
+    "FluentError",
+    "parse_expression",
+    # temporal foundations
+    "TimeDomain",
+    "Interval",
+    "TemporalElement",
+    "PeriodSemiring",
+    "Semiring",
+    "BOOLEAN",
+    "NATURAL",
+    # abstract model (oracle)
+    "KRelation",
+    "SnapshotKRelation",
+    "SnapshotDatabase",
+    "evaluate_snapshot_query",
+    # logical model
+    "PeriodKRelation",
+    "PeriodDatabase",
+    "evaluate_period_query",
+    # implementation level
+    "SnapshotMiddleware",
+    "Database",
+    "Table",
+    "ExecutionBackend",
+    "InMemoryBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "resolve_backend",
+    # conformance
+    "ConformanceError",
+    "ConformanceReport",
+    "Counterexample",
+    "assert_conformant",
+    "check_conformance",
+}
+
+EXPECTED_API_EXPORTS = {
+    "connect",
+    "Session",
+    "TemporalRelation",
+    "GroupedRelation",
+    "FluentError",
+    "ExpressionSyntaxError",
+    "parse_expression",
+    "as_expression",
+}
+
+
 class TestPublicSurface:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
@@ -25,6 +84,17 @@ class TestPublicSurface:
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_package_surface_snapshot(self):
+        """Accidental export changes must fail loudly (see the note above)."""
+        assert set(repro.__all__) == EXPECTED_REPRO_EXPORTS
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_api_surface_snapshot(self):
+        api = importlib.import_module("repro.api")
+        assert set(api.__all__) == EXPECTED_API_EXPORTS
+        for name in api.__all__:
+            assert hasattr(api, name), f"repro.api.{name}"
 
     @pytest.mark.parametrize(
         "module",
@@ -37,7 +107,9 @@ class TestPublicSurface:
             "repro.engine",
             "repro.backends",
             "repro.rewriter",
+            "repro.api",
             "repro.baselines",
+            "repro.conformance",
             "repro.datasets",
             "repro.experiments",
         ],
@@ -46,6 +118,38 @@ class TestPublicSurface:
         imported = importlib.import_module(module)
         for name in imported.__all__:
             assert hasattr(imported, name), f"{module}.{name}"
+
+    def test_execution_module_stays_below_rewriter_and_backends(self):
+        """The module that broke the ``rewriter -> backends -> rewriter`` cycle.
+
+        ``repro.execution`` must never grow a *module-level* import of the
+        layers above it (function-local imports for lazy registration are
+        fine) -- that is the invariant that lets the middleware and the
+        fluent API import the backend contract without ``TYPE_CHECKING``
+        guards.  Checked statically so a regression fails here, not as an
+        ImportError at some unlucky caller.
+        """
+        import ast
+        import pathlib
+
+        source = pathlib.Path(repro.execution.__file__).read_text()
+        for node in ast.parse(source).body:
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                assert "rewriter" not in module and "backends" not in module, (
+                    f"repro.execution imports {module!r} at module level"
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    assert "rewriter" not in alias.name
+                    assert "backends" not in alias.name
+
+    def test_middleware_imports_the_backend_contract_at_runtime(self):
+        """No TYPE_CHECKING guard: the protocol is a real runtime import."""
+        from repro.execution import ExecutionBackend
+        from repro.rewriter import middleware
+
+        assert middleware.ExecutionBackend is ExecutionBackend
 
 
 class TestReadmeQuickstart:
