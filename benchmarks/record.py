@@ -41,18 +41,25 @@ perf trajectory is visible from the ledger alone.
 If any workload raises, the error is recorded in the ledger entry, the
 remaining workloads still run, and the process exits non-zero -- a partial
 ledger must fail CI rather than silently looking like a clean run.
+
+``--time-limit-seconds`` bounds each workload's wall clock: a workload that
+exceeds the limit is recorded as a timeout error in the ledger entry and the
+remaining workloads still run, so a hung workload fails CI with a partial
+ledger instead of stalling the job until the runner kills it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra import Comparison, Join, RelationAccess, and_, attr
 from repro.algebra.operators import AggregateSpec, Aggregation, Projection
@@ -321,6 +328,39 @@ def time_plan_cache(
     }
 
 
+def _run_with_time_limit(
+    name: str, workload: Callable[[], object], limit: Optional[float]
+) -> Tuple[object, Optional[str], bool]:
+    """Run ``workload``, bounding its wall clock when ``limit`` is set.
+
+    Returns ``(value, error, hung)``.  The workloads are pure in-process
+    Python, so a hung one cannot be killed -- it is abandoned on a daemon
+    thread and reported, and the caller must hard-exit once the ledger is
+    written so the abandoned thread cannot keep the process alive.
+    """
+    if limit is None:
+        try:
+            return workload(), None, False
+        except Exception:  # noqa: BLE001 - every failure must reach the ledger
+            return None, traceback.format_exc(), False
+    outcome: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = workload()
+        except Exception:  # noqa: BLE001
+            outcome["error"] = traceback.format_exc()
+
+    thread = threading.Thread(target=target, name=f"workload-{name}", daemon=True)
+    thread.start()
+    thread.join(limit)
+    if thread.is_alive():
+        return None, f"workload exceeded the {limit:g}s time limit", True
+    if "error" in outcome:
+        return None, outcome["error"], False
+    return outcome.get("value"), None, False
+
+
 def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     """Speedup of the newest label over the oldest (by recording order)."""
     labels = [k for k in ledger if k != "speedup_newest_vs_oldest"]
@@ -398,7 +438,19 @@ def main() -> int:
             "entry); default: each workload's baked-in seed."
         ),
     )
+    parser.add_argument(
+        "--time-limit-seconds",
+        type=float,
+        default=None,
+        help=(
+            "Per-workload wall-clock bound: a workload exceeding it is "
+            "recorded as a timeout in the ledger and the run exits non-zero "
+            "instead of stalling; default: unbounded."
+        ),
+    )
     args = parser.parse_args()
+    if args.time_limit_seconds is not None and args.time_limit_seconds <= 0:
+        parser.error("--time-limit-seconds must be positive")
 
     entry: Dict[str, object] = {"recorded_platform": platform.python_version()}
     if args.seed is not None:
@@ -419,12 +471,18 @@ def main() -> int:
             args.plan_cache_rows, args.plan_cache_executions, args.repetitions, args.seed
         ),
     }
+    hung_workloads: List[str] = []
     for name, workload in workloads.items():
-        try:
-            entry[name] = workload()
-        except Exception:  # noqa: BLE001 - every failure must reach the ledger
-            errors[name] = traceback.format_exc()
+        value, error, hung = _run_with_time_limit(
+            name, workload, args.time_limit_seconds
+        )
+        if error is not None:
+            errors[name] = error
             print(f"workload {name!r} failed:\n{errors[name]}", file=sys.stderr)
+            if hung:
+                hung_workloads.append(name)
+        else:
+            entry[name] = value
     if errors:
         entry["errors"] = errors
 
@@ -447,6 +505,16 @@ def main() -> int:
             f"{len(errors)} workload(s) failed; ledger entry {args.label!r} is partial",
             file=sys.stderr,
         )
+        if hung_workloads:
+            # Abandoned daemon threads are still spinning; the ledger is
+            # written, so hard-exit rather than wait on work that never ends.
+            print(
+                f"hung workload(s) abandoned: {', '.join(hung_workloads)}",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+            sys.stdout.flush()
+            os._exit(1)
         return 1
     return 0
 

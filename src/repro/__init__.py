@@ -81,6 +81,17 @@ from .conformance import (
     check_conformance,
 )
 from .engine import Database, Table
+from .errors import (
+    BackendError,
+    BackendUnavailableError,
+    ParseError,
+    PlanError,
+    QueryTimeoutError,
+    ReproError,
+    ResourceLimitError,
+)
+from .execution import ExecutionPolicy
+from .faultinject import FaultInjectingBackend, FaultSchedule
 from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
 from .rewriter import SnapshotMiddleware
 from .semirings import BOOLEAN, NATURAL, Semiring
@@ -118,6 +129,16 @@ __all__ = [
     "SQLiteBackend",
     "available_backends",
     "resolve_backend",
+    "ReproError",
+    "ParseError",
+    "PlanError",
+    "BackendError",
+    "BackendUnavailableError",
+    "QueryTimeoutError",
+    "ResourceLimitError",
+    "ExecutionPolicy",
+    "FaultSchedule",
+    "FaultInjectingBackend",
     "ConformanceError",
     "ConformanceReport",
     "Counterexample",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Tuple
 
+from ..errors import PlanError
 from .expressions import Attribute, Expression
 
 __all__ = [
@@ -40,8 +41,13 @@ __all__ = [
 ]
 
 
-class AlgebraError(Exception):
-    """Raised for malformed plans (unknown attributes, arity mismatches...)."""
+class AlgebraError(PlanError):
+    """Raised for malformed plans (unknown attributes, arity mismatches...).
+
+    Part of the :mod:`repro.errors` taxonomy (a permanent
+    :class:`~repro.errors.PlanError`), so the rewriter's and executor's
+    subclasses are :class:`~repro.errors.ReproError` instances too.
+    """
 
 
 #: Aggregation functions supported by ``RA^agg`` in this library.

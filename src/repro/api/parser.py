@@ -37,6 +37,7 @@ from ..algebra.expressions import (
     Literal,
     Not,
 )
+from ..errors import ParseError
 
 __all__ = ["ExpressionSyntaxError", "parse_expression", "as_expression"]
 
@@ -47,8 +48,12 @@ _FUNCTION_NAMES = ("least", "greatest", "abs", "coalesce")
 _KEYWORDS = ("and", "or", "not", "is", "null")
 
 
-class ExpressionSyntaxError(ValueError):
-    """Raised when a string expression cannot be parsed."""
+class ExpressionSyntaxError(ParseError):
+    """Raised when a string expression cannot be parsed.
+
+    A :class:`~repro.errors.ParseError` (and hence still a ``ValueError``,
+    as before the taxonomy existed).
+    """
 
 
 class _Token(NamedTuple):

@@ -36,9 +36,11 @@ from ..algebra.operators import (
     Selection,
     Union as UnionAll,
 )
+from ..errors import ParseError
 from .parser import as_expression, parse_expression
 
 if TYPE_CHECKING:  # session imports relation; annotation only, no runtime cycle
+    from ..execution import ExecutionPolicy
     from .session import Session
 
 __all__ = ["FluentError", "TemporalRelation", "GroupedRelation"]
@@ -47,8 +49,12 @@ __all__ = ["FluentError", "TemporalRelation", "GroupedRelation"]
 _AGGREGATE_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*\((.*)\)\s*$", re.DOTALL)
 
 
-class FluentError(ValueError):
-    """Raised for malformed fluent chains (before any execution happens)."""
+class FluentError(ParseError):
+    """Raised for malformed fluent chains (before any execution happens).
+
+    A :class:`~repro.errors.ParseError` (and hence still a ``ValueError``,
+    as before the taxonomy existed).
+    """
 
 
 def _aggregate_spec(alias: str, spec: Union[str, AggregateSpec, Expression]) -> AggregateSpec:
@@ -118,14 +124,19 @@ class TemporalRelation:
     :meth:`Session.query`, not directly.
     """
 
-    __slots__ = ("_session", "_plan", "_final_coalesce")
+    __slots__ = ("_session", "_plan", "_final_coalesce", "_policy")
 
     def __init__(
-        self, session: "Session", plan: Operator, final_coalesce: bool = False
+        self,
+        session: "Session",
+        plan: Operator,
+        final_coalesce: bool = False,
+        policy: "Optional[ExecutionPolicy]" = None,
     ) -> None:
         self._session = session
         self._plan = plan
         self._final_coalesce = final_coalesce
+        self._policy = policy
 
     # -- introspection ----------------------------------------------------------------
 
@@ -142,7 +153,7 @@ class TemporalRelation:
         return f"TemporalRelation({self._plan!r})"
 
     def _derive(self, plan: Operator) -> "TemporalRelation":
-        return TemporalRelation(self._session, plan, self._final_coalesce)
+        return TemporalRelation(self._session, plan, self._final_coalesce, self._policy)
 
     # -- fluent algebra ---------------------------------------------------------------
 
@@ -265,7 +276,30 @@ class TemporalRelation:
         with ``coalesce="none"``, where it re-enables the final coalescing
         step for this one query.
         """
-        return TemporalRelation(self._session, self._plan, final_coalesce=True)
+        return TemporalRelation(
+            self._session, self._plan, final_coalesce=True, policy=self._policy
+        )
+
+    def with_policy(self, policy: "Optional[ExecutionPolicy]") -> "TemporalRelation":
+        """Attach a per-query :class:`~repro.execution.ExecutionPolicy`.
+
+        The policy overrides the session default for every terminal of the
+        returned relation (and everything derived from it)::
+
+            works.with_policy(ExecutionPolicy(timeout_seconds=1.0)).rows()
+
+        Pass ``None`` to drop a previously attached policy and fall back to
+        the session default.
+        """
+        from ..execution import ExecutionPolicy
+
+        if policy is not None and not isinstance(policy, ExecutionPolicy):
+            raise FluentError(
+                f"with_policy expects an ExecutionPolicy or None, got {policy!r}"
+            )
+        return TemporalRelation(
+            self._session, self._plan, self._final_coalesce, policy
+        )
 
     def _check_same_session(self, other: "TemporalRelation", verb: str) -> None:
         if not isinstance(other, TemporalRelation):
@@ -278,7 +312,10 @@ class TemporalRelation:
     def table(self, statistics: Optional[Dict[str, int]] = None):
         """Execute and return the period :class:`~repro.engine.table.Table`."""
         return self._session.execute(
-            self._plan, statistics=statistics, final_coalesce=self._final_coalesce
+            self._plan,
+            statistics=statistics,
+            final_coalesce=self._final_coalesce,
+            policy=self._policy,
         )
 
     def rows(self, statistics: Optional[Dict[str, int]] = None) -> List[Tuple[Any, ...]]:
@@ -288,7 +325,10 @@ class TemporalRelation:
     def decoded(self, statistics: Optional[Dict[str, int]] = None):
         """Execute and decode into a period K-relation (N^T) for verification."""
         return self._session.execute_decoded(
-            self._plan, statistics=statistics, final_coalesce=self._final_coalesce
+            self._plan,
+            statistics=statistics,
+            final_coalesce=self._final_coalesce,
+            policy=self._policy,
         )
 
     def snapshot(self, point: int):

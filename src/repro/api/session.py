@@ -36,12 +36,13 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 from ..algebra.operators import Operator, RelationAccess
 from ..engine.catalog import Database
 from ..engine.table import Table
-from ..execution import ExecutionBackend
+from ..errors import BackendUnavailableError
+from ..execution import ExecutionBackend, ExecutionPolicy
 from ..logical_model.period_relation import PeriodKRelation
 from ..planner import optimize as planner_optimize
 from ..rewriter.middleware import SnapshotMiddleware
 from ..rewriter.periodenc import T_BEGIN, T_END
-from ..rewriter.pipeline import PlanCacheInfo, QueryPipeline
+from ..rewriter.pipeline import ExecutionInfo, PlanCacheInfo, QueryPipeline
 from ..rewriter.rewrite import SnapshotRewriter
 from ..temporal.timedomain import TimeDomain
 from .relation import FluentError, TemporalRelation
@@ -71,6 +72,7 @@ def connect(
     database: Optional[Database] = None,
     plan_cache: bool = True,
     rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> "Session":
     """Open a snapshot-semantics session over a time domain.
 
@@ -94,6 +96,10 @@ def connect(
         Cache rewritten plans keyed by structural query hash + planner
         switch + catalog schema version; cache hits skip REWR and the
         planner entirely.
+    policy:
+        The session's default :class:`~repro.execution.ExecutionPolicy`
+        (deadline, row budget, retries, fallback backend); override per
+        query with :meth:`TemporalRelation.with_policy`.
     """
     pipeline = QueryPipeline(
         _as_domain(domain),
@@ -104,6 +110,7 @@ def connect(
         backend=backend,
         rewriter_cls=rewriter_cls,
         plan_cache=plan_cache,
+        policy=policy,
     )
     return Session(pipeline)
 
@@ -113,6 +120,43 @@ class Session:
 
     def __init__(self, pipeline: QueryPipeline) -> None:
         self._pipeline = pipeline
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the session; every later execution raises immediately.
+
+        After closing, all relation terminals (``.rows()``, ``.table()``,
+        ``.check()``, ``.explain()``, ...) raise
+        :class:`~repro.errors.BackendUnavailableError` without touching the
+        backend.  A backend *instance* owned by the session (one passed to
+        :func:`connect` with a ``close`` method, such as a session-mode
+        SQLite backend) is closed too.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        backend = self._pipeline.backend
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BackendUnavailableError(
+                "session is closed; open a new one with repro.connect(...)"
+            )
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- introspection ----------------------------------------------------------------
 
@@ -145,6 +189,19 @@ class Session:
     @backend.setter
     def backend(self, value: "str | ExecutionBackend | None") -> None:
         self._pipeline.backend = value
+
+    @property
+    def policy(self) -> Optional[ExecutionPolicy]:
+        """The session-default execution policy (``None`` = unconstrained)."""
+        return self._pipeline.policy
+
+    @policy.setter
+    def policy(self, value: Optional[ExecutionPolicy]) -> None:
+        self._pipeline.policy = value
+
+    def execution_info(self) -> ExecutionInfo:
+        """Lifetime ``(retries, timeouts, fallbacks)`` counters of this session."""
+        return self._pipeline.execution_info()
 
     def middleware(self) -> SnapshotMiddleware:
         """The classic operator-tree interface over this session's pipeline."""
@@ -209,9 +266,11 @@ class Session:
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
         final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Table:
         """Evaluate a logical query under snapshot semantics; a period table."""
-        return self._pipeline.execute(query, statistics, backend, final_coalesce)
+        self._ensure_open()
+        return self._pipeline.execute(query, statistics, backend, final_coalesce, policy)
 
     def execute_decoded(
         self,
@@ -219,9 +278,13 @@ class Session:
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
         final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> PeriodKRelation:
         """Evaluate and decode into a period K-relation (N^T)."""
-        return self._pipeline.execute_decoded(query, statistics, backend, final_coalesce)
+        self._ensure_open()
+        return self._pipeline.execute_decoded(
+            query, statistics, backend, final_coalesce, policy
+        )
 
     def check(self, query: Operator, **kwargs: Any):
         """Snapshot-conformance check of one query against the oracle.
@@ -236,6 +299,7 @@ class Session:
         """
         from ..conformance import check_conformance
 
+        self._ensure_open()
         kwargs.setdefault("rewriter_cls", self._pipeline.rewriter_cls)
         kwargs.setdefault("coalesce", self._pipeline.coalesce)
         kwargs.setdefault("use_temporal_aggregate", self._pipeline.use_temporal_aggregate)
@@ -254,6 +318,7 @@ class Session:
 
     def explain_relation(self, relation: TemporalRelation) -> str:
         """The rendered pipeline for one relation; see ``TemporalRelation.explain``."""
+        self._ensure_open()
         query = relation.plan
         final_coalesce = relation._final_coalesce
         sections = ["logical plan:", _indent(query.explain_tree())]

@@ -17,6 +17,7 @@ from ..engine.table import Table
 from ..execution import (
     BackendError,
     ExecutionBackend,
+    QueryLimits,
     available_backends,
     register_backend,
     resolve_backend,
@@ -42,10 +43,11 @@ class InMemoryBackend:
         plan: Operator,
         database: Database,
         statistics: Optional[Dict[str, int]] = None,
+        limits: Optional[QueryLimits] = None,
     ) -> Table:
         from ..engine.executor import execute as engine_execute
 
-        return engine_execute(plan, database, statistics)
+        return engine_execute(plan, database, statistics, limits=limits)
 
     def __repr__(self) -> str:
         return "InMemoryBackend()"

@@ -27,6 +27,12 @@ from ..algebra.operators import Operator, RelationAccess
 from ..datasets.sqlite_loader import connect_memory, load_database
 from ..engine.catalog import Database
 from ..engine.table import Table
+from ..errors import (
+    BackendUnavailableError,
+    QueryTimeoutError,
+    ResourceLimitError,
+)
+from ..execution import QueryLimits
 from ..planner import optimize as planner_optimize
 from .base import BackendError, register_backend
 from .sqlcompile import compile_plan
@@ -45,6 +51,11 @@ class SQLiteBackend:
 
     name = "sqlite"
 
+    #: How many SQLite VM opcodes run between deadline checks.  Small enough
+    #: to cancel long scans promptly, large enough that the progress handler
+    #: does not dominate execution time.
+    PROGRESS_OPCODES = 2000
+
     def __init__(
         self,
         connection: Optional[sqlite3.Connection] = None,
@@ -53,6 +64,8 @@ class SQLiteBackend:
         self._connection = connection
         self._session_database: Optional[Database] = None
         self.optimize = optimize
+        self._active_connection: Optional[sqlite3.Connection] = None
+        self._interrupt_requested = False
 
     @classmethod
     def for_database(
@@ -75,17 +88,30 @@ class SQLiteBackend:
             self._connection.close()
             self._connection = None
 
+    def interrupt(self) -> None:
+        """Cancel the statement currently running on this backend, if any.
+
+        Safe to call from another thread (that is the point: the executing
+        thread is inside :mod:`sqlite3`).  The cancelled ``execute`` raises
+        :class:`~repro.errors.QueryTimeoutError` noting the cancellation.
+        """
+        self._interrupt_requested = True
+        connection = self._active_connection or self._connection
+        if connection is not None:
+            connection.interrupt()
+
     def execute(
         self,
         plan: Operator,
         database: Database,
         statistics: Optional[Dict[str, int]] = None,
+        limits: Optional[QueryLimits] = None,
     ) -> Table:
         if self.optimize:
             plan = planner_optimize(plan, database, statistics)
         compiled = compile_plan(plan, database)
         if self._session_database is not None and self._connection is None:
-            raise BackendError("session backend has been closed")
+            raise BackendUnavailableError("session backend has been closed")
         if self._connection is not None:
             if (
                 self._session_database is not None
@@ -95,7 +121,7 @@ class SQLiteBackend:
                     "session backend is bound to a different catalog; "
                     "use SQLiteBackend.for_database(database) for this one"
                 )
-            rows = self._run(self._connection, compiled.sql)
+            rows = self._run(self._connection, compiled.sql, limits)
         else:
             referenced = {
                 node.name for node in plan.walk() if isinstance(node, RelationAccess)
@@ -107,7 +133,7 @@ class SQLiteBackend:
                     statistics["sqlite_rows_loaded"] = (
                         statistics.get("sqlite_rows_loaded", 0) + loaded
                     )
-                rows = self._run(connection, compiled.sql)
+                rows = self._run(connection, compiled.sql, limits)
             finally:
                 connection.close()
         if statistics is not None:
@@ -119,12 +145,57 @@ class SQLiteBackend:
         result.rows = rows
         return result
 
-    @staticmethod
-    def _run(connection: sqlite3.Connection, sql: str):
+    def _run(
+        self,
+        connection: sqlite3.Connection,
+        sql: str,
+        limits: Optional[QueryLimits] = None,
+    ):
+        deadline = limits.deadline if limits is not None else None
+        budget = limits.row_budget if limits is not None else None
+        if deadline is not None:
+            # Fail fast (a zero deadline never reaches SQLite), then let the
+            # progress handler abort the statement once the clock runs out:
+            # SQLite surfaces the abort as an "interrupted" OperationalError.
+            deadline.check()
+            connection.set_progress_handler(
+                lambda: 1 if deadline.expired else 0, self.PROGRESS_OPCODES
+            )
+        self._active_connection = connection
         try:
-            return connection.execute(sql).fetchall()
+            cursor = connection.execute(sql)
+            if budget is None:
+                return cursor.fetchall()
+            rows = cursor.fetchmany(budget + 1)
+            if len(rows) > budget:
+                raise ResourceLimitError(
+                    f"SQLite result exceeds the {budget}-row budget"
+                )
+            return rows
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "interrupt" in message:
+                cancelled = self._interrupt_requested
+                self._interrupt_requested = False
+                if cancelled and (deadline is None or not deadline.expired):
+                    raise QueryTimeoutError(
+                        "SQLite execution cancelled via interrupt()"
+                    ) from exc
+                seconds = deadline.seconds if deadline is not None else 0.0
+                raise QueryTimeoutError(
+                    f"query exceeded its {seconds:g}s deadline"
+                ) from exc
+            if "locked" in message or "busy" in message:
+                raise BackendError(
+                    f"SQLite transient failure: {exc}", transient=True
+                ) from exc
+            raise BackendError(f"SQLite rejected compiled plan: {exc}\n{sql}") from exc
         except sqlite3.Error as exc:
             raise BackendError(f"SQLite rejected compiled plan: {exc}\n{sql}") from exc
+        finally:
+            self._active_connection = None
+            if deadline is not None:
+                connection.set_progress_handler(None, 0)
 
     def __repr__(self) -> str:
         mode = "session" if self._session_database is not None else "one-shot"

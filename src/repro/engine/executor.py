@@ -43,8 +43,10 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # avoids the runtime import cycle engine -> backends -> engine
     from ..backends.base import ExecutionBackend
+    from ..execution import Deadline, QueryLimits
 
 from ..abstract_model.krelation import aggregate_values
+from ..errors import ResourceLimitError
 from ..algebra.expressions import Attribute, BooleanOp, Comparison, Expression
 from ..algebra.operators import (
     Aggregation,
@@ -87,14 +89,41 @@ class ExecutionContext:
     #: hash/nested-loop strategies (used by differential tests and the
     #: overlap-join microbenchmark baseline).
     interval_join: bool = True
+    #: Cooperative fault-tolerance limits (see :class:`repro.execution
+    #: .ExecutionPolicy`): a wall-clock :class:`~repro.execution.Deadline`
+    #: polled inside operator and sweep loops, and a per-operator output-row
+    #: budget bounding runaway plans.
+    deadline: "Optional[Deadline]" = None
+    row_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.statistics is not None and not isinstance(self.statistics, Counter):
             self.statistics = Counter(self.statistics)
+        # Precomputed so the unlimited (default) checkpoint is one branch.
+        self._limited = self.deadline is not None or self.row_budget is not None
 
     def count(self, key: str, amount: int = 1) -> None:
         if self.statistics is not None:
             self.statistics[key] += amount
+
+    def checkpoint(self, produced: int = 0) -> None:
+        """Cooperative limit check, called from operator and sweep loops.
+
+        ``produced`` is the number of rows the current operator has emitted
+        so far; exceeding the row budget raises
+        :class:`~repro.errors.ResourceLimitError`, an expired deadline
+        raises :class:`~repro.errors.QueryTimeoutError` (amortised through
+        :meth:`~repro.execution.Deadline.poll`).
+        """
+        if not self._limited:
+            return
+        if self.deadline is not None:
+            self.deadline.poll()
+        if self.row_budget is not None and produced > self.row_budget:
+            raise ResourceLimitError(
+                f"operator produced {produced} rows, exceeding the "
+                f"{self.row_budget}-row budget"
+            )
 
 
 class PhysicalOperator(Operator):
@@ -116,6 +145,7 @@ def execute(
     statistics: Dict[str, int] | None = None,
     backend: "str | ExecutionBackend | None" = None,
     interval_join: bool = True,
+    limits: "Optional[QueryLimits]" = None,
 ) -> Table:
     """Execute a logical plan against the catalog and return a result table.
 
@@ -125,15 +155,28 @@ def execute(
     :class:`~repro.backends.SQLiteBackend` reusing one connection -- routes
     the plan through :mod:`repro.backends` instead.  ``interval_join=False``
     disables the sort-merge interval join (in-memory engine only), forcing
-    the nested-loop/hash fallback for overlap predicates.
+    the nested-loop/hash fallback for overlap predicates.  ``limits``
+    carries a per-execution deadline and row budget (see
+    :class:`repro.execution.QueryLimits`), enforced cooperatively inside
+    the operator loops.
     """
     if backend is not None and backend != "memory":
         from ..backends.base import resolve_backend
+        from ..execution import backend_accepts_limits
 
-        return resolve_backend(backend).execute(plan, database, statistics)
+        resolved = resolve_backend(backend)
+        if limits is None:
+            return resolved.execute(plan, database, statistics)
+        if backend_accepts_limits(resolved):
+            return resolved.execute(plan, database, statistics, limits=limits)
+        return limits.enforce_result(resolved.execute(plan, database, statistics))
     counter = None if statistics is None else Counter()
     context = ExecutionContext(
-        database=database, statistics=counter, interval_join=interval_join
+        database=database,
+        statistics=counter,
+        interval_join=interval_join,
+        deadline=limits.deadline if limits is not None else None,
+        row_budget=limits.row_budget if limits is not None else None,
     )
     try:
         return _execute(plan, context)
@@ -146,6 +189,14 @@ def execute(
 
 
 def _execute(plan: Operator, context: ExecutionContext) -> Table:
+    context.checkpoint()
+    result = _execute_node(plan, context)
+    if context._limited:
+        context.checkpoint(len(result.rows))
+    return result
+
+
+def _execute_node(plan: Operator, context: ExecutionContext) -> Table:
     if isinstance(plan, PhysicalOperator):
         children = [_execute(child, context) for child in plan.children()]
         context.count(type(plan).__name__.lower())
@@ -350,15 +401,15 @@ def _join(
     if interval is not None:
         context.count("interval_joins")
         context.count("join_strategy.interval")
-        _interval_join(left, right, equi_keys, interval, residual, result)
+        _interval_join(left, right, equi_keys, interval, residual, result, context)
     elif equi_keys:
         context.count("hash_joins")
         context.count("join_strategy.hash")
-        _hash_join(left, right, equi_keys, residual, result)
+        _hash_join(left, right, equi_keys, residual, result, context)
     else:
         context.count("nested_loop_joins")
         context.count("join_strategy.nested_loop")
-        _nested_loop_join(left, right, predicate, result)
+        _nested_loop_join(left, right, predicate, result, context)
     return result
 
 
@@ -423,6 +474,7 @@ def _hash_join(
     keys: List[Tuple[int, int]],
     residual: Optional[Expression],
     result: Table,
+    context: ExecutionContext,
 ) -> None:
     left_key = tuple_getter([li for li, _ri in keys])
     right_key = tuple_getter([ri for _li, ri in keys])
@@ -443,8 +495,11 @@ def _hash_join(
     # concatenated candidate tuples -- no per-pair dict.
     out = result.rows
     empty: Tuple[Tuple[Any, ...], ...] = ()
+    limited = context._limited
     if residual is None:
         for left_row in left.rows:
+            if limited:
+                context.checkpoint(len(out))
             key = left_key(left_row)
             if None in key:
                 continue
@@ -453,6 +508,8 @@ def _hash_join(
         return
     keep = residual.compile(left.schema + right.schema)
     for left_row in left.rows:
+        if limited:
+            context.checkpoint(len(out))
         key = left_key(left_row)
         if None in key:
             continue
@@ -548,6 +605,7 @@ def _interval_join(
     pattern: _IntervalPattern,
     residual: Optional[Expression],
     result: Table,
+    context: ExecutionContext,
 ) -> None:
     """Forward-scan plane sweep over begin-sorted inputs.
 
@@ -566,6 +624,7 @@ def _interval_join(
         residual.compile(left.schema + right.schema) if residual is not None else None
     )
     out = result.rows
+    limited = context._limited
     lb, le = pattern.left_begin, pattern.left_end
     rb, re = pattern.right_begin, pattern.right_end
 
@@ -577,6 +636,8 @@ def _interval_join(
         n_left, n_right = len(lhs), len(rhs)
         i = j = 0
         while i < n_left and j < n_right:
+            if limited:
+                context.checkpoint(len(out))
             left_row = lhs[i]
             right_row = rhs[j]
             if left_row[lb] <= right_row[rb]:
@@ -626,17 +687,26 @@ def _interval_join(
 
 
 def _nested_loop_join(
-    left: Table, right: Table, predicate: Optional[Expression], result: Table
+    left: Table,
+    right: Table,
+    predicate: Optional[Expression],
+    result: Table,
+    context: ExecutionContext,
 ) -> None:
     out = result.rows
     right_rows = right.rows
+    limited = context._limited
     if predicate is None:
         for left_row in left.rows:
+            if limited:
+                context.checkpoint(len(out))
             for right_row in right_rows:
                 out.append(left_row + right_row)
         return
     keep = predicate.compile(left.schema + right.schema)
     for left_row in left.rows:
+        if limited:
+            context.checkpoint(len(out))
         for right_row in right_rows:
             combined = left_row + right_row
             if keep(combined):

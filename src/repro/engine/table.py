@@ -12,6 +12,8 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
+from ..errors import PlanError
+
 __all__ = ["Table", "TableError", "tuple_getter"]
 
 Row = Tuple[Any, ...]
@@ -33,8 +35,12 @@ def tuple_getter(indexes: Sequence[int]) -> Callable[[Row], Tuple[Any, ...]]:
     return itemgetter(*indexes)
 
 
-class TableError(Exception):
-    """Raised for schema violations and malformed rows."""
+class TableError(PlanError):
+    """Raised for schema violations and malformed rows.
+
+    A permanent :class:`~repro.errors.PlanError`: plans referencing unknown
+    tables or attributes cannot succeed on retry.
+    """
 
 
 class Table:

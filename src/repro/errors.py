@@ -1,0 +1,125 @@
+"""The structured error taxonomy of the whole query path.
+
+The paper's deployment story is middleware on top of a stock RDBMS; in
+production that means living with transient backend failures (locked
+databases, slow queries, runaway plans).  Every error the library raises at
+a public boundary derives from :class:`ReproError`, so callers can write
+one ``except`` for the whole pipeline -- and each class is classified
+**transient** (retrying the same call may succeed: a locked SQLite
+database, an injected fault, a briefly unreachable backend) or
+**permanent** (retrying cannot help: a syntax error, an unsupported plan,
+an exhausted deadline or row budget).  The retry/failover machinery of
+:class:`repro.execution.ExecutionPolicy` keys off exactly this
+classification via :func:`is_transient`.
+
+This module sits at the very bottom of the package -- it imports nothing
+from :mod:`repro` -- so every layer (algebra, engine, planner, rewriter,
+backends, API) can adopt the taxonomy without import cycles.
+
+Class hierarchy::
+
+    ReproError
+    +-- ParseError (also ValueError)      permanent   malformed query text / fluent chain
+    +-- PlanError                         permanent   plan construction, rewrite, planning
+    +-- QueryTimeoutError (also TimeoutError)
+    |                                     permanent   deadline exhausted (a fresh call
+    |                                                 gets a fresh deadline; retrying
+    |                                                 under the same one cannot help)
+    +-- ResourceLimitError                permanent   row budget exceeded
+    +-- BackendError                      either      execution host failed (``transient=``
+        |                                             set per instance, e.g. SQLITE_BUSY)
+        +-- BackendUnavailableError       transient   host missing / closed / injected outage
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "PlanError",
+    "BackendError",
+    "BackendUnavailableError",
+    "QueryTimeoutError",
+    "ResourceLimitError",
+    "is_transient",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the library raises at a public boundary.
+
+    ``transient`` classifies the failure for retry purposes; it is a class
+    default that concrete classes (or individual instances, see
+    :class:`BackendError`) override.
+    """
+
+    #: Class-level default; ``True`` means retrying the same call may succeed.
+    transient: bool = False
+
+
+class ParseError(ReproError, ValueError):
+    """Malformed query text or fluent-chain construction (permanent).
+
+    Also a :class:`ValueError` for backwards compatibility: the API
+    boundary historically raised ad-hoc ``ValueError`` subclasses
+    (``ExpressionSyntaxError``, ``FluentError``), which now live under this
+    class.
+    """
+
+
+class PlanError(ReproError):
+    """A plan could not be built, rewritten, optimized or executed (permanent).
+
+    The algebra's :class:`~repro.algebra.operators.AlgebraError` (and with
+    it the rewriter's ``RewriteError`` and the engine's ``ExecutorError``)
+    derive from this class.
+    """
+
+
+class BackendError(ReproError):
+    """An execution host rejected or failed a plan.
+
+    Permanent by default; pass ``transient=True`` for failures that a
+    retry may clear (SQLite's ``database is locked`` / ``busy``, an
+    injected fault)::
+
+        raise BackendError("database is locked", transient=True)
+    """
+
+    def __init__(self, *args: Any, transient: bool | None = None) -> None:
+        super().__init__(*args)
+        if transient is not None:
+            self.transient = transient
+
+
+class BackendUnavailableError(BackendError):
+    """The execution host cannot be reached at all.
+
+    Raised when a backend name does not resolve, when a closed session or
+    backend is used, and by the fault-injection harness for simulated
+    outages.  Classified transient -- an outage may clear -- which also
+    makes it the canonical trigger for the failover path of
+    :class:`repro.execution.ExecutionPolicy`.
+    """
+
+    transient = True
+
+
+class QueryTimeoutError(ReproError, TimeoutError):
+    """The query exceeded its :class:`~repro.execution.ExecutionPolicy` deadline.
+
+    Classified permanent: the deadline budget covers the *whole* execution,
+    retries included, so once it is exhausted another attempt under the
+    same policy cannot succeed.  A fresh call gets a fresh deadline.
+    """
+
+
+class ResourceLimitError(ReproError):
+    """An operator or result exceeded the policy's row budget (permanent)."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Is ``error`` worth retrying?  ``False`` for non-repro errors."""
+    return bool(getattr(error, "transient", False))

@@ -48,7 +48,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.table import Table
-from ..execution import ExecutionBackend
+from ..execution import ExecutionBackend, ExecutionPolicy
 from ..logical_model.period_relation import PeriodKRelation
 from ..temporal.timedomain import TimeDomain
 from .periodenc import T_BEGIN, T_END
@@ -100,6 +100,7 @@ class SnapshotMiddleware:
         optimize: bool = True,
         backend: "str | ExecutionBackend | None" = None,
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self._pipeline = QueryPipeline(
             domain,
@@ -109,6 +110,7 @@ class SnapshotMiddleware:
             optimize=optimize,
             backend=backend,
             rewriter_cls=rewriter_cls,
+            policy=policy,
         )
 
     @classmethod
@@ -195,24 +197,27 @@ class SnapshotMiddleware:
         query: Operator,
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Table:
         """Evaluate ``query`` under snapshot semantics; return a period table.
 
         ``backend`` overrides the middleware's default execution host for
-        this query (see the constructor's ``backend`` parameter).  The
-        ``statistics`` mapping collects both the planner's rule counters and
-        the executor's counters (``join_strategy.*`` and friends).
+        this query (see the constructor's ``backend`` parameter); ``policy``
+        overrides its fault-tolerance policy.  The ``statistics`` mapping
+        collects both the planner's rule counters and the executor's
+        counters (``join_strategy.*`` and friends).
         """
-        return self._pipeline.execute(query, statistics, backend)
+        return self._pipeline.execute(query, statistics, backend, policy=policy)
 
     def execute_decoded(
         self,
         query: Operator,
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> PeriodKRelation:
         """Evaluate and decode the result into a period K-relation (N^T)."""
-        return self._pipeline.execute_decoded(query, statistics, backend)
+        return self._pipeline.execute_decoded(query, statistics, backend, policy=policy)
 
     def execute_snapshot(self, query: Operator, point: int):
         """Evaluate under snapshot semantics and slice the result at ``point``.

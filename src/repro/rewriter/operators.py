@@ -113,8 +113,11 @@ class CoalesceOperator(PhysicalOperator):
         # Step 1: +1/-1 events per (value group, time point), pre-summed per
         # point.  One counter per value group so time points are only ever
         # compared within a group (data values may contain NULL padding).
+        limited = context._limited
         deltas: Dict[Tuple[Any, ...], Counter] = {}
         for row in table.rows:
+            if limited:
+                context.checkpoint()
             begin, end = row[begin_index], row[end_index]
             # SQL semantics of the window formulation's ``WHERE begin < end``
             # prefilter: a NULL end point makes the comparison unknown, so
@@ -138,6 +141,8 @@ class CoalesceOperator(PhysicalOperator):
         result = Table("coalesce", data + self.period)
         out = result.rows
         for values, bucket in deltas.items():
+            if limited:
+                context.checkpoint(len(out))
             open_since: Any = None
             open_count = 0
             for ts in sorted(bucket):
@@ -232,8 +237,11 @@ class SplitOperator(PhysicalOperator):
         end_index = left.column_index(end_attr)
         group_key = tuple_getter([left.column_index(a) for a in self.group_by])
 
+        limited = context._limited
         result = Table("split", left.schema)
         for row in left.rows:
+            if limited:
+                context.checkpoint(len(result.rows))
             begin, end = row[begin_index], row[end_index]
             # NULL end points drop the row (SQL's ``WHERE begin < end``), and
             # NULL cut points never satisfy ``begin < p < end`` -- matching
@@ -338,8 +346,11 @@ class TemporalAggregateOperator(PhysicalOperator):
             for spec in self.aggregates
         )
         group_key = tuple_getter(group_indexes)
+        limited = context._limited
         buckets: Counter = Counter()
         for row in table.rows:
+            if limited:
+                context.checkpoint()
             begin, end = row[begin_index], row[end_index]
             # SQL's ``WHERE begin < end`` prefilter: NULL end points drop the
             # row, exactly like the compiled segmentation SQL.
@@ -367,6 +378,8 @@ class TemporalAggregateOperator(PhysicalOperator):
             self.group_by + tuple(spec.alias for spec in self.aggregates) + self.period,
         )
         for group_key, facts in groups.items():
+            if limited:
+                context.checkpoint(len(result.rows))
             self._sweep_group(group_key, facts, result)
         return result
 

@@ -23,13 +23,22 @@ not, because rewriting never looks at the data.
 from __future__ import annotations
 
 import copy
+import time
 from typing import Any, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.executor import execute as engine_execute
 from ..engine.table import Table
-from ..execution import ExecutionBackend, resolve_backend
+from ..errors import BackendError, QueryTimeoutError, is_transient
+from ..execution import (
+    Deadline,
+    ExecutionBackend,
+    ExecutionPolicy,
+    QueryLimits,
+    backend_accepts_limits,
+    resolve_backend,
+)
 from ..logical_model.period_relation import PeriodKRelation
 from ..planner import optimize as planner_optimize
 from ..semirings.standard import NATURAL
@@ -39,7 +48,7 @@ from .operators import CoalesceOperator
 from .periodenc import T_BEGIN, T_END, period_decode, period_encode
 from .rewrite import SnapshotRewriter
 
-__all__ = ["QueryPipeline", "PlanCacheInfo"]
+__all__ = ["QueryPipeline", "PlanCacheInfo", "ExecutionInfo"]
 
 
 class PlanCacheInfo(NamedTuple):
@@ -48,6 +57,19 @@ class PlanCacheInfo(NamedTuple):
     hits: int
     misses: int
     size: int
+
+
+class ExecutionInfo(NamedTuple):
+    """Lifetime fault-tolerance counters of a pipeline.
+
+    Mirrors the per-call ``execution.retries`` / ``execution.timeouts`` /
+    ``execution.fallbacks`` statistics keys, accumulated across every
+    policy-governed execution this pipeline ran.
+    """
+
+    retries: int
+    timeouts: int
+    fallbacks: int
 
 
 class QueryPipeline:
@@ -68,12 +90,14 @@ class QueryPipeline:
         backend: "str | ExecutionBackend | None" = None,
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
         plan_cache: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.domain = domain
         self.database = database if database is not None else Database()
         self.period_semiring = PeriodSemiring(NATURAL, domain)
         self.optimize = optimize
         self.backend = backend
+        self.policy = policy
         # Kept alongside the rewriter instance so callers that re-create the
         # configuration elsewhere (the conformance harness builds fresh
         # middlewares per execution) can mirror this pipeline exactly.
@@ -91,6 +115,9 @@ class QueryPipeline:
         )
         self._cache_hits = 0
         self._cache_misses = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._fallbacks = 0
 
     # -- data loading -----------------------------------------------------------------
 
@@ -193,21 +220,86 @@ class QueryPipeline:
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
         final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Table:
         """Evaluate ``query`` under snapshot semantics; return a period table."""
         plan = self.rewrite(query, statistics, final_coalesce)
-        return self.execute_rewritten(plan, statistics, backend)
+        return self.execute_rewritten(plan, statistics, backend, policy)
 
     def execute_rewritten(
         self,
         plan: Operator,
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Table:
-        """Run an already rewritten/optimized plan on the chosen backend."""
+        """Run an already rewritten/optimized plan on the chosen backend.
+
+        The effective :class:`~repro.execution.ExecutionPolicy` (the
+        ``policy`` argument, falling back to the pipeline default) governs
+        the attempt: one deadline and row budget cover the whole call,
+        transient failures are retried up to ``policy.retries`` times with
+        the policy's seeded backoff, and when the primary backend stays down
+        the query runs once more on ``policy.fallback_backend`` (when set).
+        Retries, timeouts and fallbacks are counted into ``statistics``
+        (``execution.*`` keys) and the pipeline's :meth:`execution_info`.
+        """
         chosen = backend if backend is not None else self.backend
+        effective = policy if policy is not None else self.policy
+        if effective is None:
+            return self._run_plan(plan, statistics, chosen, None)
+        try:
+            return self._execute_with_policy(plan, statistics, chosen, effective)
+        except QueryTimeoutError:
+            self._timeouts += 1
+            self._count(statistics, "execution.timeouts")
+            raise
+
+    def _execute_with_policy(
+        self,
+        plan: Operator,
+        statistics: Optional[Dict[str, int]],
+        chosen: "str | ExecutionBackend | None",
+        policy: ExecutionPolicy,
+    ) -> Table:
+        limits = policy.start_limits()
+        deadline = limits.deadline if limits is not None else None
+        delays = policy.backoff_delays()
+        attempt = 0
+        while True:
+            try:
+                return self._run_plan(plan, statistics, chosen, limits)
+            except QueryTimeoutError:
+                # Permanent by design: the deadline covers the whole call,
+                # so neither a retry nor the fallback can beat it.
+                raise
+            except Exception as error:
+                if is_transient(error) and attempt < policy.retries:
+                    delay = delays[attempt]
+                    attempt += 1
+                    self._retries += 1
+                    self._count(statistics, "execution.retries")
+                    self._sleep_backoff(delay, deadline)
+                    continue
+                if policy.fallback_backend is not None and isinstance(
+                    error, BackendError
+                ):
+                    self._fallbacks += 1
+                    self._count(statistics, "execution.fallbacks")
+                    return self._run_plan(
+                        plan, statistics, policy.fallback_backend, limits
+                    )
+                raise
+
+    def _run_plan(
+        self,
+        plan: Operator,
+        statistics: Optional[Dict[str, int]],
+        chosen: "str | ExecutionBackend | None",
+        limits: Optional[QueryLimits],
+    ) -> Table:
         if chosen is None or chosen == "memory":
-            return engine_execute(plan, self.database, statistics)
+            return engine_execute(plan, self.database, statistics, limits=limits)
         resolved = resolve_backend(chosen)
         if getattr(resolved, "optimize", False):
             # The pipeline already applied (or deliberately skipped, with
@@ -220,7 +312,34 @@ class QueryPipeline:
             # its own setting.
             resolved = copy.copy(resolved)
             resolved.optimize = False
-        return resolved.execute(plan, self.database, statistics)
+        if limits is None:
+            return resolved.execute(plan, self.database, statistics)
+        if backend_accepts_limits(resolved):
+            return resolved.execute(plan, self.database, statistics, limits=limits)
+        # Pre-fault-tolerance third-party backend: run unconstrained, then
+        # enforce the budget on the result (the deadline still trips here).
+        return limits.enforce_result(resolved.execute(plan, self.database, statistics))
+
+    @staticmethod
+    def _sleep_backoff(delay: float, deadline: Optional[Deadline]) -> None:
+        """Sleep a backoff delay without overshooting the deadline."""
+        if deadline is not None:
+            deadline.check()
+            delay = min(delay, max(0.0, deadline.remaining))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _count(self, statistics: Optional[Dict[str, int]], key: str) -> None:
+        if statistics is not None:
+            statistics[key] = statistics.get(key, 0) + 1
+
+    def execution_info(self) -> ExecutionInfo:
+        """Lifetime retry/timeout/fallback counters of this pipeline."""
+        return ExecutionInfo(
+            retries=self._retries,
+            timeouts=self._timeouts,
+            fallbacks=self._fallbacks,
+        )
 
     def execute_decoded(
         self,
@@ -228,10 +347,11 @@ class QueryPipeline:
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
         final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> PeriodKRelation:
         """Evaluate and decode the result into a period K-relation (N^T)."""
         return period_decode(
-            self.execute(query, statistics, backend, final_coalesce),
+            self.execute(query, statistics, backend, final_coalesce, policy),
             self.period_semiring,
         )
 

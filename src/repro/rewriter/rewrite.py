@@ -49,6 +49,7 @@ from ..algebra.operators import (
     Union,
 )
 from ..engine.catalog import DEFAULT_PERIOD, Database
+from ..errors import PlanError
 from ..temporal.timedomain import TimeDomain
 from .operators import CoalesceOperator, SplitOperator, TemporalAggregateOperator
 from .periodenc import T_BEGIN, T_END
@@ -79,7 +80,7 @@ class SnapshotRewriter:
         use_temporal_aggregate: bool = True,
     ) -> None:
         if coalesce not in ("final", "per-operator", "none"):
-            raise ValueError(f"unknown coalesce mode {coalesce!r}")
+            raise PlanError(f"unknown coalesce mode {coalesce!r}")
         self.database = database
         self.domain = domain
         self.coalesce_mode = coalesce

@@ -1,0 +1,165 @@
+"""Seeded fault-injection sweep (the ``faults`` CI step).
+
+For every execution configuration (memory/SQLite x planner on/off) a
+seeded :class:`~repro.faultinject.FaultSchedule` is replayed against the
+backend while an :class:`~repro.execution.ExecutionPolicy` retries the
+injected transients.  The property: **results after recovery are bag-equal
+to the fault-free execution**, and the policy's ``execution.*`` statistics
+match exactly what the schedule injected.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import ExecutionPolicy, FaultInjectingBackend, FaultSchedule
+from repro.algebra import (
+    AggregateSpec,
+    Aggregation,
+    Comparison,
+    Difference,
+    Distinct,
+    Join,
+    Projection,
+    RelationAccess,
+    Selection,
+    Union,
+    attr,
+    lit,
+)
+from repro.datasets import GeneratorConfig, generate_catalog
+from repro.rewriter.pipeline import QueryPipeline
+
+pytestmark = pytest.mark.faults
+
+
+def _workload():
+    normalised_r = Projection(
+        RelationAccess("R"), ((attr("r_cat"), "cat"), (attr("r_val"), "val"))
+    )
+    normalised_s = Projection(
+        RelationAccess("S"), ((attr("s_cat"), "cat"), (attr("s_val"), "val"))
+    )
+    return (
+        Selection(RelationAccess("R"), Comparison(">", attr("r_val"), lit(2))),
+        Distinct(normalised_r),
+        Union(Difference(normalised_s, normalised_r), normalised_r),
+        Aggregation(
+            Union(normalised_r, normalised_s),
+            ("cat",),
+            (
+                AggregateSpec("count", None, "cnt"),
+                AggregateSpec("sum", attr("val"), "total"),
+            ),
+        ),
+        Projection.of_attributes(
+            Join(
+                RelationAccess("R"),
+                RelationAccess("S"),
+                Comparison("=", attr("r_key"), attr("s_key")),
+            ),
+            "r_cat",
+            "s_val",
+        ),
+    )
+
+
+def _max_consecutive_retryable(actions):
+    longest = run = 0
+    for action in actions:
+        if action in ("transient", "outage"):
+            run += 1
+            longest = max(longest, run)
+        else:
+            run = 0
+    return longest
+
+
+def _bag(table):
+    return Counter(table.rows)
+
+
+@pytest.mark.parametrize("backend_name", ("memory", "sqlite"))
+@pytest.mark.parametrize("planner", (True, False), ids=("planner-on", "planner-off"))
+@pytest.mark.parametrize("seed", (11, 29, 83))
+def test_recovery_is_bag_equal_to_faultfree(backend_name, planner, seed):
+    config = GeneratorConfig(rows=30, domain_size=32, seed=seed, duplicate_rate=0.2)
+
+    schedule = FaultSchedule.from_seed(
+        seed,
+        length=40,
+        transient_rate=0.35,
+        outage_rate=0.1,
+        delay_rate=0.1,
+        delay_seconds=0.002,
+    )
+    # The retry budget must cover the worst consecutive run of retryable
+    # faults, otherwise recovery is impossible by construction.
+    retries = _max_consecutive_retryable(schedule.actions)
+    policy = ExecutionPolicy(
+        retries=retries,
+        backoff_base_seconds=0.0005,
+        backoff_max_seconds=0.002,
+        seed=seed,
+    )
+
+    faulty_backend = FaultInjectingBackend(backend_name, schedule)
+    faulty = QueryPipeline(
+        config.domain,
+        database=generate_catalog(config),
+        optimize=planner,
+        backend=faulty_backend,
+        policy=policy,
+    )
+    clean = QueryPipeline(
+        config.domain,
+        database=generate_catalog(config),
+        optimize=planner,
+        backend=backend_name,
+    )
+
+    statistics = {}
+    for query in _workload():
+        expected = clean.execute(query)
+        recovered = faulty.execute(query, statistics)
+        assert recovered.schema == expected.schema
+        assert _bag(recovered) == _bag(expected), (
+            f"recovered result diverges from fault-free execution for {query!r}"
+        )
+
+    # The policy retried exactly the faults the schedule injected ...
+    injected_retryable = (
+        schedule.injected["transient"] + schedule.injected["outage"]
+    )
+    assert statistics.get("execution.retries", 0) == injected_retryable
+    assert faulty.execution_info().retries == injected_retryable
+    # ... and every injected action came from the scripted prefix.
+    consumed = schedule.actions[: schedule.position]
+    expected_counts = Counter(
+        action if isinstance(action, str) else action[0] for action in consumed
+    )
+    # Calls beyond the scripted schedule are healthy "ok" actions.
+    expected_counts["ok"] += schedule.injected["ok"] - expected_counts.get("ok", 0)
+    assert schedule.injected == expected_counts
+
+
+@pytest.mark.parametrize("backend_name", ("memory", "sqlite"))
+def test_fallback_keeps_results_bag_equal_when_backend_stays_down(backend_name):
+    """Opt-in degradation: permanent failures re-run on the fallback backend."""
+    config = GeneratorConfig(rows=25, domain_size=24, seed=5)
+    schedule = FaultSchedule(["hard"] * len(_workload()))
+    faulty = QueryPipeline(
+        config.domain,
+        database=generate_catalog(config),
+        backend=FaultInjectingBackend(backend_name, schedule),
+        policy=ExecutionPolicy(fallback_backend="memory"),
+    )
+    clean = QueryPipeline(
+        config.domain, database=generate_catalog(config), backend="memory"
+    )
+
+    statistics = {}
+    for query in _workload():
+        assert _bag(faulty.execute(query, statistics)) == _bag(clean.execute(query))
+    assert statistics["execution.fallbacks"] == len(_workload())
+    assert schedule.injected["hard"] == len(_workload())

@@ -25,6 +25,7 @@ from repro.datasets.running_example import (
     query_onduty,
     query_skillreq,
 )
+from repro.errors import PlanError
 from repro.logical_model import PeriodKRelation
 from repro.rewriter import RewriteError, SnapshotMiddleware, T_BEGIN, T_END
 from repro.semirings import NATURAL
@@ -148,7 +149,9 @@ class TestRewriteErrors:
             middleware.execute(plan)
 
     def test_invalid_coalesce_mode(self):
-        with pytest.raises(ValueError):
+        # A PlanError from the taxonomy; the broad except for callers that
+        # predate it still works because the check below would catch it.
+        with pytest.raises(PlanError):
             SnapshotMiddleware(TIME_DOMAIN, coalesce="sometimes")
 
 

@@ -1,0 +1,169 @@
+"""ExecutionPolicy, Deadline and QueryLimits unit behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.table import Table
+from repro.errors import QueryTimeoutError, ResourceLimitError
+from repro.execution import (
+    Deadline,
+    ExecutionPolicy,
+    QueryLimits,
+    backend_accepts_limits,
+)
+
+
+class TestDeadline:
+    def test_zero_deadline_fails_on_first_poll(self):
+        deadline = Deadline(0.0)
+        with pytest.raises(QueryTimeoutError):
+            deadline.poll()
+
+    def test_generous_deadline_does_not_fire(self):
+        deadline = Deadline(60.0)
+        for _ in range(1000):
+            deadline.poll()
+        assert deadline.remaining > 0
+        assert not deadline.expired
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_error_message_names_the_budget(self):
+        deadline = Deadline(0.25)
+        deadline.expires_at = 0.0  # force-expire without sleeping
+        with pytest.raises(QueryTimeoutError, match="0.25s deadline"):
+            deadline.check()
+
+
+class TestQueryLimits:
+    def test_enforce_result_row_budget(self):
+        limits = QueryLimits(row_budget=2)
+        ok = Table("t", ("x",), [(1,), (2,)])
+        assert limits.enforce_result(ok) is ok
+        too_big = Table("t", ("x",), [(1,), (2,), (3,)])
+        with pytest.raises(ResourceLimitError):
+            limits.enforce_result(too_big)
+
+    def test_enforce_result_expired_deadline(self):
+        limits = QueryLimits(deadline=Deadline(0.0))
+        with pytest.raises(QueryTimeoutError):
+            limits.enforce_result(Table("t", ("x",)))
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_seconds": -1.0},
+            {"max_result_rows": -1},
+            {"retries": -1},
+            {"backoff_base_seconds": -0.1},
+            {"backoff_max_seconds": -0.1},
+            {"backoff_multiplier": 0.5},
+            {"backoff_jitter": 1.5},
+            {"backoff_jitter": -0.1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_default_policy_is_unconstrained(self):
+        assert ExecutionPolicy().start_limits() is None
+
+    def test_start_limits_builds_fresh_deadline(self):
+        policy = ExecutionPolicy(timeout_seconds=5.0, max_result_rows=10)
+        limits = policy.start_limits()
+        assert limits.row_budget == 10
+        assert limits.deadline.seconds == 5.0
+        # Each call is a fresh budget, not a shared clock.
+        assert policy.start_limits().deadline is not limits.deadline
+
+    def test_policy_is_hashable_and_reusable(self):
+        a = ExecutionPolicy(timeout_seconds=1.0, retries=2)
+        b = ExecutionPolicy(timeout_seconds=1.0, retries=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestBackoffDeterminism:
+    def test_same_policy_same_delays(self):
+        policy = ExecutionPolicy(retries=5, seed=7)
+        assert policy.backoff_delays() == policy.backoff_delays()
+        assert (
+            ExecutionPolicy(retries=5, seed=7).backoff_delays()
+            == policy.backoff_delays()
+        )
+
+    def test_different_seed_different_jitter(self):
+        a = ExecutionPolicy(retries=5, seed=1, backoff_jitter=0.5)
+        b = ExecutionPolicy(retries=5, seed=2, backoff_jitter=0.5)
+        assert a.backoff_delays() != b.backoff_delays()
+
+    def test_delays_grow_exponentially_up_to_cap(self):
+        policy = ExecutionPolicy(
+            retries=10,
+            backoff_base_seconds=0.01,
+            backoff_multiplier=2.0,
+            backoff_max_seconds=0.05,
+            backoff_jitter=0.0,
+        )
+        delays = policy.backoff_delays()
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert all(d == 0.05 for d in delays[3:])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        retries=st.integers(min_value=0, max_value=8),
+        base=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        multiplier=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+        cap=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_backoff_is_pure_function_of_policy_fields(
+        self, seed, retries, base, multiplier, cap, jitter
+    ):
+        """Equal fields => bit-identical delays, bounded by cap * (1 + jitter)."""
+        make = lambda: ExecutionPolicy(
+            retries=retries,
+            backoff_base_seconds=base,
+            backoff_multiplier=multiplier,
+            backoff_max_seconds=cap,
+            backoff_jitter=jitter,
+            seed=seed,
+        )
+        delays = make().backoff_delays()
+        assert delays == make().backoff_delays()
+        assert len(delays) == retries
+        for delay in delays:
+            assert 0.0 <= delay <= cap * (1.0 + jitter) + 1e-12
+
+
+class TestBackendAcceptsLimits:
+    def test_builtin_backends_accept_limits(self):
+        from repro.backends import InMemoryBackend, SQLiteBackend
+
+        assert backend_accepts_limits(InMemoryBackend())
+        assert backend_accepts_limits(SQLiteBackend())
+
+    def test_legacy_backend_detected(self):
+        class Legacy:
+            name = "legacy"
+
+            def execute(self, plan, database, statistics=None):
+                return Table("t", ("x",))
+
+        assert not backend_accepts_limits(Legacy())
+
+    def test_var_keyword_backend_accepted(self):
+        class Kitchen:
+            name = "kitchen"
+
+            def execute(self, plan, database, statistics=None, **kwargs):
+                return Table("t", ("x",))
+
+        assert backend_accepts_limits(Kitchen())

@@ -57,6 +57,17 @@ EXPECTED_REPRO_EXPORTS = {
     "SQLiteBackend",
     "available_backends",
     "resolve_backend",
+    # fault tolerance (error taxonomy, policies, fault injection)
+    "ReproError",
+    "ParseError",
+    "PlanError",
+    "BackendError",
+    "BackendUnavailableError",
+    "QueryTimeoutError",
+    "ResourceLimitError",
+    "ExecutionPolicy",
+    "FaultSchedule",
+    "FaultInjectingBackend",
     # conformance
     "ConformanceError",
     "ConformanceReport",
