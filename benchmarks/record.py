@@ -23,7 +23,18 @@ track across PRs and appends the timings to a JSON ledger:
   (over a join) through a fluent session (:func:`repro.api.connect`), cold
   (the rewritten-plan cache cleared before every run, so REWR + planner run
   each time) vs. warm (the cache reused, so both are skipped): the per-run
-  speedup the session API's plan cache buys on rewrite-heavy workloads.
+  speedup the session API's plan cache buys on rewrite-heavy workloads;
+* **server load** -- a concurrent load generator against the asyncio query
+  server (:class:`repro.server.QueryServer`): N thread-per-client
+  :class:`~repro.client.RemoteSession` connections run the same grouped
+  temporal aggregation over the wire, recording per-query latency
+  percentiles (p50/p99), throughput, and the shared plan cache's
+  cross-client hit counters (a run with zero warm hits fails -- the whole
+  point of the shared pipeline is that one client's rewrite pays for
+  everyone's).
+
+``--workloads`` selects a subset of the workload columns (e.g.
+``--workloads server_load`` for the CI query-server smoke step).
 
 Usage::
 
@@ -89,6 +100,11 @@ GENERATOR_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
 #: dominates the engine time.
 PLAN_CACHE_ROWS = 16
 PLAN_CACHE_EXECUTIONS = 40
+#: Concurrent clients / queries-per-client of the server-load workload.
+#: Eight clients is the acceptance floor for cross-client cache reuse.
+SERVER_CLIENTS = 8
+SERVER_QUERIES = 12
+SERVER_ROWS = 400
 
 
 def time_figure5(
@@ -328,6 +344,110 @@ def time_plan_cache(
     }
 
 
+def _percentile(sorted_seconds: Sequence[float], q: float) -> Optional[float]:
+    if not sorted_seconds:
+        return None
+    index = min(len(sorted_seconds) - 1, round(q * (len(sorted_seconds) - 1)))
+    return sorted_seconds[index]
+
+
+def time_server_load(
+    clients: int, queries: int, rows: int, seed: Optional[int]
+) -> Dict[str, object]:
+    """Concurrent remote clients against one shared query server.
+
+    One :class:`~repro.server.QueryServer` multiplexes ``clients``
+    thread-per-client remote sessions over a generated catalog.  Every
+    client runs the same grouped temporal aggregation; after a warm-up
+    pass (which populates the shared plan cache) all clients start behind
+    a barrier and the per-query wall clock of every remote round trip is
+    recorded.  The ledger row keeps latency percentiles, throughput, and
+    the server's plan-cache counters -- warm hits must come from
+    cross-client reuse, so ``plan_cache_hits == 0`` is an error, not a
+    data point.
+    """
+    from repro.server import QueryServer
+
+    config = GeneratorConfig(
+        rows=rows,
+        domain_size=64,
+        seed=29 if seed is None else seed,
+        interval_profile="mixed",
+        duplicate_rate=0.1,
+        groups=8,
+        values=16,
+        keys=32,
+    )
+    latencies: List[float] = []
+    failures: List[str] = []
+    barrier = threading.Barrier(clients)
+
+    with QueryServer(
+        domain=config.domain,
+        database=generate_catalog(config),
+        max_workers=clients,
+    ) as server:
+        server.session.clear_plan_cache()
+
+        def worker(index: int) -> None:
+            try:
+                with connect(server.url) as session:
+                    chain = (
+                        session.table("R")
+                        .where("r_val > 3")
+                        .group_by("r_cat")
+                        .agg(cnt="count(*)", total="sum(r_val)")
+                    )
+                    chain.rows()  # warm-up: one rewrite, shared by everyone
+                    barrier.wait(timeout=60)
+                    for _ in range(queries):
+                        started = time.perf_counter()
+                        chain.rows()
+                        # list.append is atomic: safe across client threads.
+                        latencies.append(time.perf_counter() - started)
+            except Exception:  # noqa: BLE001 - surfaced after the join below
+                failures.append(traceback.format_exc())
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"load-client-{i}")
+            for i in range(clients)
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        wall_seconds = time.perf_counter() - wall_started
+        cache = server.session.cache_info()
+
+    if failures:
+        raise RuntimeError(f"{len(failures)} load client(s) failed:\n{failures[0]}")
+    if len(latencies) != clients * queries:
+        raise RuntimeError(
+            f"expected {clients * queries} timed queries, got {len(latencies)}"
+        )
+    if not cache.hits:
+        raise RuntimeError(
+            f"server load produced no cross-client plan-cache hits: {cache}"
+        )
+    latencies.sort()
+    return {
+        "clients": clients,
+        "queries_per_client": queries,
+        "catalog_rows": rows,
+        "total_queries": len(latencies),
+        "wall_seconds": wall_seconds,
+        "throughput_queries_per_second": round(len(latencies) / wall_seconds, 2)
+        if wall_seconds > 0
+        else None,
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "max_seconds": latencies[-1],
+        "plan_cache_hits": cache.hits,
+        "plan_cache_misses": cache.misses,
+    }
+
+
 def _run_with_time_limit(
     name: str, workload: Callable[[], object], limit: Optional[float]
 ) -> Tuple[object, Optional[str], bool]:
@@ -406,6 +526,11 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     new_cache = new.get("plan_cache", {}).get("warm_seconds")
     if base_cache is not None and new_cache:
         summary["plan_cache_warm"] = round(base_cache / new_cache, 2)
+    # The server-load workload only exists from PR 7 on.
+    base_server = base.get("server_load", {}).get("p50_seconds")
+    new_server = new.get("server_load", {}).get("p50_seconds")
+    if base_server is not None and new_server:
+        summary["server_load_p50"] = round(base_server / new_server, 2)
     return summary
 
 
@@ -414,7 +539,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr5.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr7.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -428,6 +553,29 @@ def main() -> int:
     parser.add_argument("--plan-cache-rows", type=int, default=PLAN_CACHE_ROWS)
     parser.add_argument(
         "--plan-cache-executions", type=int, default=PLAN_CACHE_EXECUTIONS
+    )
+    parser.add_argument(
+        "--server-clients",
+        type=int,
+        default=SERVER_CLIENTS,
+        help="Concurrent remote clients of the server-load workload.",
+    )
+    parser.add_argument(
+        "--server-queries",
+        type=int,
+        default=SERVER_QUERIES,
+        help="Timed queries per client of the server-load workload.",
+    )
+    parser.add_argument("--server-rows", type=int, default=SERVER_ROWS)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "Record only these workload columns (default: all); e.g. "
+            "--workloads server_load for the CI query-server smoke step."
+        ),
     )
     parser.add_argument(
         "--seed",
@@ -470,7 +618,18 @@ def main() -> int:
         "plan_cache": lambda: time_plan_cache(
             args.plan_cache_rows, args.plan_cache_executions, args.repetitions, args.seed
         ),
+        "server_load": lambda: time_server_load(
+            args.server_clients, args.server_queries, args.server_rows, args.seed
+        ),
     }
+    if args.workloads:
+        unknown = sorted(set(args.workloads) - set(workloads))
+        if unknown:
+            parser.error(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(workloads)}"
+            )
+        workloads = {k: v for k, v in workloads.items() if k in set(args.workloads)}
     hung_workloads: List[str] = []
     for name, workload in workloads.items():
         value, error, hung = _run_with_time_limit(

@@ -55,6 +55,7 @@ from .api import (
     FluentError,
     GroupedRelation,
     Session,
+    SessionProtocol,
     TemporalRelation,
     connect,
     parse_expression,
@@ -81,11 +82,13 @@ from .conformance import (
     check_conformance,
 )
 from .engine import Database, Table
+from .client import RemoteSession
 from .errors import (
     BackendError,
     BackendUnavailableError,
     ParseError,
     PlanError,
+    ProtocolError,
     QueryTimeoutError,
     ReproError,
     ResourceLimitError,
@@ -95,6 +98,7 @@ from .faultinject import FaultInjectingBackend, FaultSchedule
 from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
 from .rewriter import SnapshotMiddleware
 from .semirings import BOOLEAN, NATURAL, Semiring
+from .server import QueryServer
 from .temporal import Interval, PeriodSemiring, TemporalElement, TimeDomain
 
 __version__ = "1.0.0"
@@ -103,6 +107,9 @@ __all__ = [
     "__version__",
     "connect",
     "Session",
+    "SessionProtocol",
+    "RemoteSession",
+    "QueryServer",
     "TemporalRelation",
     "GroupedRelation",
     "FluentError",
@@ -134,6 +141,7 @@ __all__ = [
     "PlanError",
     "BackendError",
     "BackendUnavailableError",
+    "ProtocolError",
     "QueryTimeoutError",
     "ResourceLimitError",
     "ExecutionPolicy",

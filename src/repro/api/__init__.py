@@ -27,11 +27,12 @@ harness (:meth:`TemporalRelation.check`) and the classic
 
 from .parser import ExpressionSyntaxError, as_expression, parse_expression
 from .relation import FluentError, GroupedRelation, TemporalRelation
-from .session import Session, connect
+from .session import Session, SessionProtocol, connect
 
 __all__ = [
     "connect",
     "Session",
+    "SessionProtocol",
     "TemporalRelation",
     "GroupedRelation",
     "FluentError",

@@ -31,7 +31,18 @@ still wants the operator-tree interface.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+from urllib.parse import parse_qs, urlsplit
 
 from ..algebra.operators import Operator, RelationAccess
 from ..engine.catalog import Database
@@ -47,7 +58,7 @@ from ..rewriter.rewrite import SnapshotRewriter
 from ..temporal.timedomain import TimeDomain
 from .relation import FluentError, TemporalRelation
 
-__all__ = ["connect", "Session"]
+__all__ = ["connect", "Session", "SessionProtocol"]
 
 
 def _as_domain(domain: Union[TimeDomain, Tuple[int, int], int]) -> TimeDomain:
@@ -63,8 +74,100 @@ def _as_domain(domain: Union[TimeDomain, Tuple[int, int], int]) -> TimeDomain:
     )
 
 
+@runtime_checkable
+class SessionProtocol(Protocol):
+    """What every session -- local or remote -- promises.
+
+    Exactly the surface :class:`~repro.api.relation.TemporalRelation`
+    terminals call into, plus lifecycle; :class:`Session` and
+    :class:`~repro.client.RemoteSession` both satisfy it, so code written
+    against a ``memory://`` DSN runs unchanged against ``repro://host:port``.
+    """
+
+    @property
+    def closed(self) -> bool:
+        ...
+
+    @property
+    def domain(self) -> TimeDomain:
+        ...
+
+    def close(self) -> None:
+        ...
+
+    def table(self, name: str) -> TemporalRelation:
+        ...
+
+    def load(
+        self,
+        name: str,
+        schema: Iterable[str],
+        rows: Iterable[Sequence[Any]],
+        period: Tuple[str, str] = (T_BEGIN, T_END),
+    ) -> TemporalRelation:
+        ...
+
+    def query(self, plan: Operator) -> TemporalRelation:
+        ...
+
+    def execute(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: Any = None,
+        final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> Table:
+        ...
+
+    def execute_decoded(
+        self,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: Any = None,
+        final_coalesce: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> PeriodKRelation:
+        ...
+
+    def check(self, query: Operator, **kwargs: Any) -> Any:
+        ...
+
+    def explain_relation(self, relation: TemporalRelation) -> str:
+        ...
+
+    def cache_info(self) -> PlanCacheInfo:
+        ...
+
+    def clear_plan_cache(self) -> None:
+        ...
+
+    def execution_info(self) -> ExecutionInfo:
+        ...
+
+
+def _parse_dsn_domain(text: str) -> TimeDomain:
+    try:
+        lo, hi = text.split(":", 1)
+        return TimeDomain(int(lo), int(hi))
+    except (ValueError, TypeError) as exc:
+        raise FluentError(
+            f"DSN domain must look like 'lo:hi' (e.g. domain=0:24), got {text!r}"
+        ) from exc
+
+
+_DSN_BOOL = {"1": True, "true": True, "on": True, "0": False, "false": False, "off": False}
+
+
+def _dsn_bool(name: str, text: str) -> bool:
+    value = _DSN_BOOL.get(text.lower())
+    if value is None:
+        raise FluentError(f"DSN parameter {name}= must be a boolean, got {text!r}")
+    return value
+
+
 def connect(
-    domain: Union[TimeDomain, Tuple[int, int], int],
+    target: "Union[str, TimeDomain, Tuple[int, int], int, None]" = None,
     backend: "str | ExecutionBackend | None" = "memory",
     planner: bool = True,
     coalesce: str = "final",
@@ -73,34 +176,138 @@ def connect(
     plan_cache: bool = True,
     rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
     policy: Optional[ExecutionPolicy] = None,
-) -> "Session":
-    """Open a snapshot-semantics session over a time domain.
+    domain: "Union[TimeDomain, Tuple[int, int], int, None]" = None,
+) -> "SessionProtocol":
+    """Open a snapshot-semantics session: the transport-agnostic front door.
 
-    Parameters
-    ----------
-    domain:
-        The time domain queries are interpreted over: a
-        :class:`~repro.temporal.timedomain.TimeDomain`, a ``(min, max)``
-        pair, or an int ``n`` meaning ``[0, n)``.
-    backend:
-        Where rewritten plans execute: ``"memory"`` (default), ``"sqlite"``,
-        or any :class:`~repro.execution.ExecutionBackend` instance.
-    planner:
-        Run the schema-aware planner on rewritten plans (on by default).
-    coalesce / use_temporal_aggregate:
-        The rewriter's Section 9 switches, as on
-        :class:`~repro.rewriter.middleware.SnapshotMiddleware`.
-    database:
-        Attach to an existing engine catalog instead of creating one.
-    plan_cache:
-        Cache rewritten plans keyed by structural query hash + planner
-        switch + catalog schema version; cache hits skip REWR and the
-        planner entirely.
-    policy:
-        The session's default :class:`~repro.execution.ExecutionPolicy`
-        (deadline, row budget, retries, fallback backend); override per
-        query with :meth:`TemporalRelation.with_policy`.
+    ``target`` selects *where* queries execute, via a URL-style DSN:
+
+    * ``"memory://?domain=0:24"`` -- a local :class:`Session` on the
+      in-memory engine;
+    * ``"sqlite:///path/to.db?domain=0:24"`` -- a local :class:`Session`
+      executing on a durable file-backed SQLite database (three slashes =
+      relative path, four = absolute), re-syncing queried tables per
+      execution;
+    * ``"repro://host:port"`` -- a :class:`~repro.client.RemoteSession`
+      speaking the wire protocol to a
+      :class:`~repro.server.QueryServer` (the domain comes from the
+      server's welcome, never from the DSN).
+
+    Every return value satisfies :class:`SessionProtocol` and is a context
+    manager with idempotent ``close()``, so calling code is transport-
+    agnostic.
+
+    The time domain of a local session comes from the DSN's ``domain=lo:hi``
+    query parameter or the ``domain=`` keyword (DSN wins); other recognised
+    DSN parameters -- ``planner=on|off``, ``coalesce=final|none|...``,
+    ``plan_cache=on|off``, ``backend=name`` on ``memory://`` -- likewise
+    override their keyword counterparts.
+
+    .. deprecated:: passing the time domain *positionally*
+       (``connect((0, 24))``, ``connect(TimeDomain(0, 24))``,
+       ``connect(24)``) still works exactly as before -- it is the
+       pre-DSN keyword form -- but new code should prefer a DSN (or the
+       explicit ``domain=`` keyword).
+
+    Keyword parameters (``backend``, ``planner``, ``coalesce``,
+    ``use_temporal_aggregate``, ``database``, ``plan_cache``,
+    ``rewriter_cls``, ``policy``) keep their pre-DSN meanings; the ones
+    that configure local pipelines are rejected for ``repro://`` targets
+    only when they conflict (``policy`` applies client-side and is always
+    honoured).
     """
+    if target is not None and not isinstance(target, str):
+        # The deprecated positional-domain shim (see the docstring note).
+        if domain is not None:
+            raise FluentError(
+                "pass the domain once: positionally (deprecated) or as domain="
+            )
+        domain = target
+        target = None
+
+    if target is None:
+        if domain is None:
+            raise FluentError(
+                "connect needs a target: a DSN (memory://, sqlite:///path, "
+                "repro://host:port) or a time domain via domain="
+            )
+        return _connect_local(
+            domain, backend, planner, coalesce, use_temporal_aggregate,
+            database, plan_cache, rewriter_cls, policy,
+        )
+
+    parts = urlsplit(target)
+    scheme = parts.scheme.lower()
+    params = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+    if "domain" in params:
+        domain = _parse_dsn_domain(params.pop("domain"))
+    if "planner" in params:
+        planner = _dsn_bool("planner", params.pop("planner"))
+    if "plan_cache" in params:
+        plan_cache = _dsn_bool("plan_cache", params.pop("plan_cache"))
+    if "coalesce" in params:
+        coalesce = params.pop("coalesce")
+
+    if scheme == "repro":
+        if params:
+            raise FluentError(
+                f"unsupported repro:// DSN parameter(s): {sorted(params)}"
+            )
+        from ..client import RemoteSession
+        from ..server.core import DEFAULT_PORT
+
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port if parts.port is not None else DEFAULT_PORT
+        return RemoteSession(host, port, policy=policy)
+
+    if scheme == "memory":
+        if "backend" in params:
+            backend = params.pop("backend")
+    elif scheme == "sqlite":
+        path = parts.path
+        if path.startswith("/"):
+            # SQLAlchemy convention: sqlite:///rel.db is relative,
+            # sqlite:////abs.db is absolute.
+            path = path[1:]
+        if not path:
+            raise FluentError(
+                "sqlite DSN needs a file path: sqlite:///path/to.db"
+            )
+        from ..backends.sqlite import SQLiteBackend
+
+        # The pipeline owns the planner pass; see QueryPipeline._run_plan.
+        backend = SQLiteBackend.at_path(path, optimize=False)
+    else:
+        raise FluentError(
+            f"unknown DSN scheme {parts.scheme!r} in {target!r}; expected "
+            "memory://, sqlite:///path or repro://host:port"
+        )
+    if params:
+        raise FluentError(
+            f"unsupported {scheme}:// DSN parameter(s): {sorted(params)}"
+        )
+    if domain is None:
+        raise FluentError(
+            f"a {scheme}:// DSN needs a time domain: append ?domain=lo:hi "
+            "or pass domain=(lo, hi)"
+        )
+    return _connect_local(
+        domain, backend, planner, coalesce, use_temporal_aggregate,
+        database, plan_cache, rewriter_cls, policy,
+    )
+
+
+def _connect_local(
+    domain: "Union[TimeDomain, Tuple[int, int], int]",
+    backend: "str | ExecutionBackend | None",
+    planner: bool,
+    coalesce: str,
+    use_temporal_aggregate: bool,
+    database: Optional[Database],
+    plan_cache: bool,
+    rewriter_cls: type[SnapshotRewriter],
+    policy: Optional[ExecutionPolicy],
+) -> "Session":
     pipeline = QueryPipeline(
         _as_domain(domain),
         database=database,

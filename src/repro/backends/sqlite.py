@@ -66,6 +66,25 @@ class SQLiteBackend:
         self.optimize = optimize
         self._active_connection: Optional[sqlite3.Connection] = None
         self._interrupt_requested = False
+        self._sync_per_execute = False
+
+    @classmethod
+    def at_path(cls, path: str, optimize: bool = True) -> "SQLiteBackend":
+        """A durable file-backed backend: the ``sqlite:///path`` DSN mode.
+
+        The connection stays open across queries (like a session backend)
+        but is *not* bound to one catalog: the relations a plan references
+        are re-synced from the engine catalog before every execution
+        (:func:`~repro.datasets.sqlite_loader.load_table` drops and
+        recreates), so results always reflect the current catalog while the
+        file keeps the latest copy of every queried table durable across
+        processes.  ``check_same_thread=False`` because the query server
+        executes on a worker-thread pool.
+        """
+        connection = sqlite3.connect(path, check_same_thread=False)
+        backend = cls(connection, optimize=optimize)
+        backend._sync_per_execute = True
+        return backend
 
     @classmethod
     def for_database(
@@ -110,7 +129,9 @@ class SQLiteBackend:
         if self.optimize:
             plan = planner_optimize(plan, database, statistics)
         compiled = compile_plan(plan, database)
-        if self._session_database is not None and self._connection is None:
+        if self._connection is None and (
+            self._session_database is not None or self._sync_per_execute
+        ):
             raise BackendUnavailableError("session backend has been closed")
         if self._connection is not None:
             if (
@@ -121,6 +142,19 @@ class SQLiteBackend:
                     "session backend is bound to a different catalog; "
                     "use SQLiteBackend.for_database(database) for this one"
                 )
+            if self._sync_per_execute:
+                referenced = {
+                    node.name
+                    for node in plan.walk()
+                    if isinstance(node, RelationAccess)
+                }
+                loaded = load_database(
+                    self._connection, database, sorted(referenced)
+                )
+                if statistics is not None:
+                    statistics["sqlite_rows_loaded"] = (
+                        statistics.get("sqlite_rows_loaded", 0) + loaded
+                    )
             rows = self._run(self._connection, compiled.sql, limits)
         else:
             referenced = {
@@ -198,7 +232,12 @@ class SQLiteBackend:
                 connection.set_progress_handler(None, 0)
 
     def __repr__(self) -> str:
-        mode = "session" if self._session_database is not None else "one-shot"
+        if self._sync_per_execute:
+            mode = "file"
+        elif self._session_database is not None:
+            mode = "session"
+        else:
+            mode = "one-shot"
         return f"SQLiteBackend({mode})"
 
 

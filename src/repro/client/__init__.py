@@ -1,0 +1,10 @@
+"""The remote client: a fluent temporal session over the wire.
+
+:class:`RemoteSession` mirrors the local :class:`~repro.api.Session`
+surface; build one with ``repro.connect("repro://host:port")``.
+"""
+
+from .connection import RemoteConnection
+from .session import RemoteSession
+
+__all__ = ["RemoteSession", "RemoteConnection"]

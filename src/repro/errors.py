@@ -27,8 +27,17 @@ Class hierarchy::
     |                                                 under the same one cannot help)
     +-- ResourceLimitError                permanent   row budget exceeded
     +-- BackendError                      either      execution host failed (``transient=``
-        |                                             set per instance, e.g. SQLITE_BUSY)
-        +-- BackendUnavailableError       transient   host missing / closed / injected outage
+    |   |                                             set per instance, e.g. SQLITE_BUSY)
+    |   +-- BackendUnavailableError       transient   host missing / closed / injected outage
+    +-- ProtocolError                     permanent   malformed wire frame / message
+
+The query-server wire protocol (:mod:`repro.server`, :mod:`repro.client`)
+maps onto the same taxonomy: error frames carry the class name of the
+server-side failure and the client re-raises the matching class, while
+client-observed transport failures (a dropped connection, an unreachable
+host) surface as :class:`BackendUnavailableError` -- so
+:class:`repro.execution.ExecutionPolicy` retry and failover work unchanged
+against a remote backend.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ __all__ = [
     "PlanError",
     "BackendError",
     "BackendUnavailableError",
+    "ProtocolError",
     "QueryTimeoutError",
     "ResourceLimitError",
     "is_transient",
@@ -105,6 +115,18 @@ class BackendUnavailableError(BackendError):
     """
 
     transient = True
+
+
+class ProtocolError(ReproError):
+    """A malformed wire frame or message on the query-server protocol.
+
+    Raised by the framing layer (:mod:`repro.server.protocol`) for frames
+    exceeding the size bound, truncated payloads, undecodable JSON, unknown
+    message or plan-node types.  Classified permanent: resending the same
+    bytes cannot help.  Transport-level failures (the peer vanished) are
+    *not* protocol errors -- they map to
+    :class:`BackendUnavailableError` so the retry machinery engages.
+    """
 
 
 class QueryTimeoutError(ReproError, TimeoutError):

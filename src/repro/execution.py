@@ -59,6 +59,7 @@ from .errors import (
     BackendUnavailableError,
     QueryTimeoutError,
     ResourceLimitError,
+    is_transient,
 )
 
 __all__ = [
@@ -72,6 +73,8 @@ __all__ = [
     "resolve_backend",
     "available_backends",
     "backend_accepts_limits",
+    "run_with_policy",
+    "sleep_backoff",
 ]
 
 
@@ -116,7 +119,7 @@ class Deadline:
     #: Clock reads happen once per this many ``poll()`` calls.
     POLL_INTERVAL = 64
 
-    __slots__ = ("seconds", "expires_at", "_polls")
+    __slots__ = ("seconds", "expires_at", "_polls", "cancelled")
 
     def __init__(self, seconds: float) -> None:
         if seconds < 0:
@@ -124,6 +127,7 @@ class Deadline:
         self.seconds = seconds
         self.expires_at = time.monotonic() + seconds
         self._polls = 0
+        self.cancelled = False
 
     @property
     def remaining(self) -> float:
@@ -133,9 +137,25 @@ class Deadline:
     def expired(self) -> bool:
         return time.monotonic() >= self.expires_at
 
+    def cancel(self) -> None:
+        """Force the deadline to expire *now* (thread-safe).
+
+        The cooperative cancellation hook of the query server: the event
+        loop cancels a worker-thread execution by expiring the deadline the
+        worker polls, so every backend's existing deadline enforcement (the
+        engine's ``poll()`` loops, SQLite's progress handler) doubles as the
+        cancellation path.  The resulting
+        :class:`~repro.errors.QueryTimeoutError` names the cancellation.
+        """
+        self.cancelled = True
+        self.expires_at = float("-inf")
+        self._polls = 0  # the very next poll() reads the clock
+
     def check(self) -> None:
         """Raise :class:`~repro.errors.QueryTimeoutError` once expired."""
         if self.expired:
+            if self.cancelled:
+                raise QueryTimeoutError("query cancelled")
             raise QueryTimeoutError(
                 f"query exceeded its {self.seconds:g}s deadline"
             )
@@ -255,6 +275,80 @@ class ExecutionPolicy:
             else None
         )
         return QueryLimits(deadline=deadline, row_budget=self.max_result_rows)
+
+
+# -- policy-governed execution --------------------------------------------------------------------
+
+
+def sleep_backoff(delay: float, deadline: Optional[Deadline]) -> None:
+    """Sleep a retry-backoff delay without overshooting the deadline."""
+    if deadline is not None:
+        deadline.check()
+        delay = min(delay, max(0.0, deadline.remaining))
+    if delay > 0:
+        time.sleep(delay)
+
+
+def run_with_policy(
+    policy: Optional[ExecutionPolicy],
+    attempt: "Callable[[Optional[QueryLimits]], Table]",
+    fallback: "Optional[Callable[[Optional[QueryLimits]], Table]]" = None,
+    observer: Optional[Callable[[str], None]] = None,
+) -> Table:
+    """Run one execution attempt under an :class:`ExecutionPolicy`.
+
+    The single implementation of the policy semantics, shared by
+    :class:`~repro.rewriter.pipeline.QueryPipeline` (attempts run a plan on
+    a backend) and the remote client (attempts send a query over the wire,
+    where a dropped connection surfaces as the transient
+    :class:`~repro.errors.BackendUnavailableError` -- so retry and failover
+    behave identically against local and remote backends):
+
+    * ``attempt(limits)`` performs one try under the policy's
+      :class:`QueryLimits` (one deadline and row budget cover the whole
+      call, retries and backoff sleeps included);
+    * *transient* failures (see :func:`repro.errors.is_transient`) are
+      retried up to ``policy.retries`` times with the policy's seeded
+      backoff delays;
+    * when the primary keeps failing with a
+      :class:`~repro.errors.BackendError`, ``fallback(limits)`` (when
+      given) runs once;
+    * :class:`~repro.errors.QueryTimeoutError` is permanent by design --
+      the deadline covers the whole call, so neither a retry nor the
+      fallback can beat it.
+
+    ``observer`` receives ``"retry"`` / ``"fallback"`` / ``"timeout"``
+    events so callers can maintain their statistics and lifetime counters.
+    """
+    if policy is None:
+        return attempt(None)
+    limits = policy.start_limits()
+    deadline = limits.deadline if limits is not None else None
+    delays = policy.backoff_delays()
+    attempt_number = 0
+    try:
+        while True:
+            try:
+                return attempt(limits)
+            except QueryTimeoutError:
+                raise
+            except Exception as error:
+                if is_transient(error) and attempt_number < policy.retries:
+                    delay = delays[attempt_number]
+                    attempt_number += 1
+                    if observer is not None:
+                        observer("retry")
+                    sleep_backoff(delay, deadline)
+                    continue
+                if fallback is not None and isinstance(error, BackendError):
+                    if observer is not None:
+                        observer("fallback")
+                    return fallback(limits)
+                raise
+    except QueryTimeoutError:
+        if observer is not None:
+            observer("timeout")
+        raise
 
 
 # -- backend registry -----------------------------------------------------------------------------

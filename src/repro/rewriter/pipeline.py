@@ -23,21 +23,19 @@ not, because rewriting never looks at the data.
 from __future__ import annotations
 
 import copy
-import time
 from typing import Any, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.executor import execute as engine_execute
 from ..engine.table import Table
-from ..errors import BackendError, QueryTimeoutError, is_transient
 from ..execution import (
-    Deadline,
     ExecutionBackend,
     ExecutionPolicy,
     QueryLimits,
     backend_accepts_limits,
     resolve_backend,
+    run_with_policy,
 )
 from ..logical_model.period_relation import PeriodKRelation
 from ..planner import optimize as planner_optimize
@@ -248,48 +246,49 @@ class QueryPipeline:
         effective = policy if policy is not None else self.policy
         if effective is None:
             return self._run_plan(plan, statistics, chosen, None)
-        try:
-            return self._execute_with_policy(plan, statistics, chosen, effective)
-        except QueryTimeoutError:
-            self._timeouts += 1
-            self._count(statistics, "execution.timeouts")
-            raise
 
-    def _execute_with_policy(
+        def observer(event: str) -> None:
+            if event == "retry":
+                self._retries += 1
+                self._count(statistics, "execution.retries")
+            elif event == "fallback":
+                self._fallbacks += 1
+                self._count(statistics, "execution.fallbacks")
+            elif event == "timeout":
+                self._timeouts += 1
+                self._count(statistics, "execution.timeouts")
+
+        fallback = None
+        if effective.fallback_backend is not None:
+            fallback = lambda limits: self._run_plan(  # noqa: E731
+                plan, statistics, effective.fallback_backend, limits
+            )
+        return run_with_policy(
+            effective,
+            lambda limits: self._run_plan(plan, statistics, chosen, limits),
+            fallback=fallback,
+            observer=observer,
+        )
+
+    def execute_limited(
         self,
-        plan: Operator,
-        statistics: Optional[Dict[str, int]],
-        chosen: "str | ExecutionBackend | None",
-        policy: ExecutionPolicy,
+        query: Operator,
+        statistics: Optional[Dict[str, int]] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        final_coalesce: bool = False,
+        limits: Optional[QueryLimits] = None,
     ) -> Table:
-        limits = policy.start_limits()
-        deadline = limits.deadline if limits is not None else None
-        delays = policy.backoff_delays()
-        attempt = 0
-        while True:
-            try:
-                return self._run_plan(plan, statistics, chosen, limits)
-            except QueryTimeoutError:
-                # Permanent by design: the deadline covers the whole call,
-                # so neither a retry nor the fallback can beat it.
-                raise
-            except Exception as error:
-                if is_transient(error) and attempt < policy.retries:
-                    delay = delays[attempt]
-                    attempt += 1
-                    self._retries += 1
-                    self._count(statistics, "execution.retries")
-                    self._sleep_backoff(delay, deadline)
-                    continue
-                if policy.fallback_backend is not None and isinstance(
-                    error, BackendError
-                ):
-                    self._fallbacks += 1
-                    self._count(statistics, "execution.fallbacks")
-                    return self._run_plan(
-                        plan, statistics, policy.fallback_backend, limits
-                    )
-                raise
+        """One policy-free execution under externally owned :class:`QueryLimits`.
+
+        The query server's entry point: the server creates (and keeps a
+        handle on) the per-request deadline so a ``cancel`` frame can expire
+        it from the event loop while the worker thread executes
+        (:meth:`repro.execution.Deadline.cancel`); retries and failover stay
+        with the *client's* policy, which observes transport failures.
+        """
+        plan = self.rewrite(query, statistics, final_coalesce)
+        chosen = backend if backend is not None else self.backend
+        return self._run_plan(plan, statistics, chosen, limits)
 
     def _run_plan(
         self,
@@ -319,15 +318,6 @@ class QueryPipeline:
         # Pre-fault-tolerance third-party backend: run unconstrained, then
         # enforce the budget on the result (the deadline still trips here).
         return limits.enforce_result(resolved.execute(plan, self.database, statistics))
-
-    @staticmethod
-    def _sleep_backoff(delay: float, deadline: Optional[Deadline]) -> None:
-        """Sleep a backoff delay without overshooting the deadline."""
-        if deadline is not None:
-            deadline.check()
-            delay = min(delay, max(0.0, deadline.remaining))
-        if delay > 0:
-            time.sleep(delay)
 
     def _count(self, statistics: Optional[Dict[str, int]], key: str) -> None:
         if statistics is not None:

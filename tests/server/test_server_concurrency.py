@@ -1,0 +1,184 @@
+"""Many clients on one server: shared plan cache, parallel parity, cancellation."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import QueryServer, connect
+from repro.algebra.operators import RelationAccess
+from repro.engine.table import Table
+from repro.errors import QueryTimeoutError
+from repro.execution import register_backend
+from repro.server.plans import plan_to_json
+from repro.server.protocol import FrameDecoder, encode_frame
+
+ROWS = [(key, f"cat{key % 3}", key * 2, key % 10, key % 10 + 5) for key in range(40)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with QueryServer(domain=(0, 32), max_workers=8) as running:
+        running.session.load("events", ["key", "cat", "val"], ROWS)
+        yield running
+
+
+class TestConcurrentClients:
+    def test_eight_clients_share_one_warm_plan_cache(self, server):
+        server.session.clear_plan_cache()
+        results, errors = {}, []
+        barrier = threading.Barrier(8)
+
+        def worker(index: int) -> None:
+            try:
+                with connect(server.url) as session:
+                    chain = (
+                        session.table("events")
+                        .where("val > 10")
+                        .group_by("cat")
+                        .agg(cnt="count(*)")
+                    )
+                    barrier.wait(timeout=30)
+                    for _ in range(3):
+                        results.setdefault(index, []).append(sorted(chain.rows()))
+            except Exception as error:  # noqa: BLE001 - surfaced via the list
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == 8
+        reference = results[0][0]
+        assert all(rows == reference for runs in results.values() for rows in runs)
+        info = server.session.cache_info()
+        # 8 clients x 3 runs of one structurally identical query: exactly one
+        # rewrite happened; everyone else reused it.
+        assert info.misses >= 1
+        assert info.hits >= 24 - info.misses
+        assert info.hits > 0
+
+    def test_interleaved_queries_multiplex_one_connection_handler(self, server):
+        with connect(server.url) as first, connect(server.url) as second:
+            for _ in range(5):
+                a = first.table("events").where("key < 5").rows()
+                b = second.table("events").where("key >= 5").rows()
+                assert len(a) + len(b) == len(ROWS)
+
+
+class _StallingBackend:
+    """Executes nothing: polls the deadline until cancelled (or timed out)."""
+
+    name = "stall_for_test"
+    started = threading.Event()
+
+    def execute(self, plan, database, statistics=None, limits=None) -> Table:
+        self.started.set()
+        assert limits is not None and limits.deadline is not None
+        while True:
+            time.sleep(0.005)
+            limits.deadline.poll()
+
+
+register_backend(_StallingBackend.name, _StallingBackend)
+
+
+class _RawClient:
+    """A bare-frames client for driving the protocol below RemoteSession."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.decoder = FrameDecoder()
+        self.send({"type": "hello", "protocol": 1})
+        assert self.recv()["type"] == "welcome"
+
+    def send(self, message: dict) -> None:
+        self.sock.sendall(encode_frame(message))
+
+    def recv(self) -> dict:
+        while True:
+            frame = self.decoder.next_frame()
+            if frame is not None:
+                return frame
+            data = self.sock.recv(65536)
+            assert data, "server closed the connection"
+            self.decoder.feed(data)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class TestCancellation:
+    def test_cancel_frame_aborts_an_inflight_query(self, server):
+        client = _RawClient(server.host, server.port)
+        try:
+            _StallingBackend.started.clear()
+            client.send(
+                {
+                    "type": "query",
+                    "id": 1,
+                    "plan": plan_to_json(RelationAccess("events")),
+                    "backend": _StallingBackend.name,
+                    "timeout_seconds": 60,
+                }
+            )
+            assert _StallingBackend.started.wait(timeout=10), "query never started"
+            client.send({"type": "cancel", "id": 1})
+            frame = client.recv()
+            assert frame["type"] == "error"
+            assert frame["id"] == 1
+            assert frame["code"] == "QueryTimeoutError"
+            assert frame["cancelled"] is True
+            assert "cancelled" in frame["message"]
+            # The connection survives cancellation: next request works.
+            client.send({"type": "tables", "id": 2})
+            assert client.recv()["tables"] == ["events"]
+        finally:
+            client.close()
+
+    def test_cancelling_an_unknown_id_is_a_noop(self, server):
+        client = _RawClient(server.host, server.port)
+        try:
+            client.send({"type": "cancel", "id": 999})
+            client.send({"type": "ping", "id": 3})
+            assert client.recv()["type"] == "ok"
+        finally:
+            client.close()
+
+    def test_client_disconnect_cancels_inflight_queries(self, server):
+        client = _RawClient(server.host, server.port)
+        _StallingBackend.started.clear()
+        client.send(
+            {
+                "type": "query",
+                "id": 1,
+                "plan": plan_to_json(RelationAccess("events")),
+                "backend": _StallingBackend.name,
+                "timeout_seconds": 60,
+            }
+        )
+        assert _StallingBackend.started.wait(timeout=10)
+        client.close()
+        # The worker thread must be released promptly (not after 60s):
+        # the vanished connection expires the query's deadline.
+        deadline = time.monotonic() + 10
+        while server._active and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not server._active
+
+    def test_cooperative_deadline_without_cancel(self, server):
+        with connect(server.url) as session:
+            from repro.execution import ExecutionPolicy
+
+            policy = ExecutionPolicy(timeout_seconds=0.2)
+            with pytest.raises(QueryTimeoutError):
+                session.execute(
+                    RelationAccess("events"),
+                    backend=_StallingBackend.name,
+                    policy=policy,
+                )

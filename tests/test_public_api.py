@@ -27,6 +27,9 @@ EXPECTED_REPRO_EXPORTS = {
     # fluent session API (canonical front door)
     "connect",
     "Session",
+    "SessionProtocol",
+    "RemoteSession",
+    "QueryServer",
     "TemporalRelation",
     "GroupedRelation",
     "FluentError",
@@ -63,6 +66,7 @@ EXPECTED_REPRO_EXPORTS = {
     "PlanError",
     "BackendError",
     "BackendUnavailableError",
+    "ProtocolError",
     "QueryTimeoutError",
     "ResourceLimitError",
     "ExecutionPolicy",
@@ -79,6 +83,7 @@ EXPECTED_REPRO_EXPORTS = {
 EXPECTED_API_EXPORTS = {
     "connect",
     "Session",
+    "SessionProtocol",
     "TemporalRelation",
     "GroupedRelation",
     "FluentError",
@@ -119,6 +124,8 @@ class TestPublicSurface:
             "repro.backends",
             "repro.rewriter",
             "repro.api",
+            "repro.server",
+            "repro.client",
             "repro.baselines",
             "repro.conformance",
             "repro.datasets",
