@@ -11,9 +11,10 @@ track across PRs and appends the timings to a JSON ledger:
   SQLite backend (catalog pre-loaded, so the timing isolates query
   execution);
 * **overlap join** -- a microbenchmark of the executor's sort-merge
-  interval join against the nested-loop fallback it replaced: a pure
-  interval-overlap theta join (no equality conjunct, so the fallback is a
-  full nested loop) over two synthetic interval tables;
+  interval join: a pure interval-overlap theta join (no equality conjunct)
+  over two synthetic interval tables at 100k rows/side, row engine vs. the
+  columnar batch executor's vectorised kernel; the quadratic nested-loop
+  baseline it replaced is timed only up to a size cutoff;
 * **generator scaling** -- a grouped temporal aggregation over
   heavy-overlap (``chained``) catalogs from the synthetic workload
   generator (:mod:`repro.datasets.generator`) at increasing row counts:
@@ -45,9 +46,12 @@ Usage::
 ledger entry), so any recorded run can be reproduced bit for bit.
 
 Each invocation merges its results under ``--label`` into ``--output``
-(default ``BENCH_pr5.json`` at the repo root) and, when at least two labels
+(default ``BENCH_pr8.json`` at the repo root) and, when at least two labels
 are present, reports the speedup of the newest label over the oldest so the
-perf trajectory is visible from the ledger alone.
+perf trajectory is visible from the ledger alone.  The figure5,
+overlap-join, and generator-scaling workloads additionally run a columnar
+batch-executor leg next to the row leg and record per-entry
+``batch_speedup`` columns (batch vs. row on identical inputs).
 
 If any workload raises, the error is recorded in the ledger entry, the
 remaining workloads still run, and the process exits non-zero -- a partial
@@ -62,6 +66,7 @@ ledger instead of stalling the job until the runner kills it.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -88,9 +93,13 @@ from repro.experiments.figure5 import run_figure5
 FIGURE5_SIZES: Sequence[int] = (1_000, 5_000, 20_000)
 FIGURE5_MONTHS = 120
 EMPLOYEE_SCALE = 0.1
-#: Rows per side of the overlap-join microbenchmark (Table-3 order of
-#: magnitude: the scale-0.1 Employee tables hold a few thousand rows).
-OVERLAP_JOIN_ROWS = 2_000
+#: Rows per side of the overlap-join microbenchmark.  The interval domain
+#: scales with the row count (constant overlap density), so the sort-merge
+#: legs stay near-linear and 100k rows/side finishes in seconds.
+OVERLAP_JOIN_ROWS = 100_000
+#: Largest rows/side at which the quadratic nested-loop baseline still runs;
+#: above this the workload records ``nested_loop_seconds: null``.
+NESTED_LOOP_CUTOFF = 10_000
 #: Row counts of the generator-driven scaling workload.
 GENERATOR_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
 #: Rows per table and executions per mode of the plan-cache workload.  The
@@ -110,29 +119,65 @@ SERVER_ROWS = 400
 def time_figure5(
     sizes: Sequence[int], repetitions: int, seed: Optional[int]
 ) -> List[Dict[str, object]]:
-    results = run_figure5(
+    """Row and batch executor legs of the Figure-5 coalescing experiment."""
+    kwargs = {} if seed is None else {"seed": seed}
+    row_results = run_figure5(
         sizes=sizes,
         months=FIGURE5_MONTHS,
         repetitions=repetitions,
-        **({} if seed is None else {"seed": seed}),
+        executor="row",
+        **kwargs,
     )
-    return [
-        {
-            "input_rows": row["input_rows"],
-            "output_rows": row["output_rows"],
-            "seconds": row["seconds"],
-        }
-        for row in results
-    ]
+    batch_results = run_figure5(
+        sizes=sizes,
+        months=FIGURE5_MONTHS,
+        repetitions=repetitions,
+        executor="batch",
+        **kwargs,
+    )
+    merged: List[Dict[str, object]] = []
+    for row, batch in zip(row_results, batch_results):
+        if row["output_rows"] != batch["output_rows"]:
+            raise RuntimeError(
+                "figure5 row/batch output mismatch at "
+                f"{row['input_rows']} rows: {row['output_rows']} vs "
+                f"{batch['output_rows']}"
+            )
+        merged.append(
+            {
+                "input_rows": row["input_rows"],
+                "output_rows": row["output_rows"],
+                "seconds": row["seconds"],
+                "batch_seconds": batch["seconds"],
+                "batch_speedup": round(row["seconds"] / batch["seconds"], 2)
+                if batch["seconds"] > 0
+                else None,
+            }
+        )
+    return merged
 
 
 def _best_of(action, repetitions: int) -> float:
+    """Best wall clock over ``repetitions`` runs, collector paused.
+
+    Like ``timeit`` (and ``run_figure5``): collect up front and keep the
+    cyclic collector out of the timed region, so a leg with a large
+    allocation spike isn't billed for a gen-2 pass over whatever heap the
+    earlier workloads accumulated.
+    """
     best = None
-    for _ in range(max(1, repetitions)):
-        started = time.perf_counter()
-        action()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(max(1, repetitions)):
+            started = time.perf_counter()
+            action()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return best
 
 
@@ -172,15 +217,23 @@ def time_table3_employee(
 def time_overlap_join(
     rows: int, repetitions: int, seed: Optional[int]
 ) -> Dict[str, object]:
-    """Interval join vs. nested-loop fallback on a pure overlap theta join."""
+    """Row vs. batch interval join (and the nested-loop fallback, when sane).
+
+    The interval domain scales with the row count, keeping overlap density
+    constant, so the output stays linear in the input and the benchmark can
+    run at 100k rows/side.  The quadratic nested-loop baseline is skipped
+    above ``NESTED_LOOP_CUTOFF`` rows/side (``nested_loop_seconds`` is
+    recorded as ``None``) -- at the default scale it would take hours.
+    """
     import random
 
     rng = random.Random(7 if seed is None else seed)
+    domain = rows * 50
 
     def intervals(count: int, prefix: str):
         out = []
         for i in range(count):
-            begin = rng.randrange(100_000)
+            begin = rng.randrange(domain)
             out.append((f"{prefix}{i}", begin, begin + rng.randint(1, 40)))
         return out
 
@@ -203,6 +256,7 @@ def time_overlap_join(
     output_rows: Dict[str, int] = {}
 
     def run_interval() -> None:
+        statistics.clear()  # keep counters per-run, not per-best-of
         output_rows["n"] = len(engine_execute(plan, database, statistics))
 
     interval_seconds = _best_of(run_interval, repetitions)
@@ -210,17 +264,46 @@ def time_overlap_join(
         raise RuntimeError(
             f"overlap join did not use the interval strategy: {statistics}"
         )
-    nested_seconds = _best_of(
-        lambda: engine_execute(plan, database, interval_join=False),
-        repetitions,
-    )
+
+    batch_statistics: Dict[str, int] = {}
+    batch_rows: Dict[str, int] = {}
+
+    def run_batch() -> None:
+        batch_statistics.clear()
+        batch_rows["n"] = len(
+            engine_execute(plan, database, batch_statistics, executor="batch")
+        )
+
+    batch_seconds = _best_of(run_batch, repetitions)
+    if not batch_statistics.get("join_strategy.interval"):
+        raise RuntimeError(
+            f"batch overlap join did not use the interval strategy: "
+            f"{batch_statistics}"
+        )
+    if batch_rows["n"] != output_rows["n"]:
+        raise RuntimeError(
+            f"overlap join row/batch output mismatch: {output_rows['n']} vs "
+            f"{batch_rows['n']}"
+        )
+
+    nested_seconds: Optional[float] = None
+    if rows <= NESTED_LOOP_CUTOFF:
+        nested_seconds = _best_of(
+            lambda: engine_execute(plan, database, interval_join=False),
+            repetitions,
+        )
     return {
         "rows_per_side": rows,
         "output_rows": output_rows["n"],
         "interval_seconds": interval_seconds,
+        "batch_seconds": batch_seconds,
+        "batch_speedup": round(interval_seconds / batch_seconds, 2)
+        if batch_seconds > 0
+        else None,
+        "batch_partitions": batch_statistics.get("batch.partitions"),
         "nested_loop_seconds": nested_seconds,
         "speedup": round(nested_seconds / interval_seconds, 2)
-        if interval_seconds > 0
+        if nested_seconds is not None and interval_seconds > 0
         else None,
     }
 
@@ -249,6 +332,9 @@ def time_generator_scaling(
         )
         database = generate_catalog(config)
         middleware = SnapshotMiddleware(config.domain, database=database)
+        batch_middleware = SnapshotMiddleware(
+            config.domain, database=database, executor="batch"
+        )
         query = Aggregation(
             Projection(
                 RelationAccess("R"),
@@ -261,13 +347,31 @@ def time_generator_scaling(
             ),
         )
         output_rows: Dict[str, int] = {}
+        batch_rows: Dict[str, int] = {}
 
         def run() -> None:
             output_rows["n"] = len(middleware.execute(query))
 
+        def run_batch() -> None:
+            batch_rows["n"] = len(batch_middleware.execute(query))
+
         seconds = _best_of(run, repetitions)
+        batch_seconds = _best_of(run_batch, repetitions)
+        if batch_rows["n"] != output_rows["n"]:
+            raise RuntimeError(
+                f"generator scaling row/batch output mismatch at {rows} rows: "
+                f"{output_rows['n']} vs {batch_rows['n']}"
+            )
         results.append(
-            {"rows": rows, "output_rows": output_rows["n"], "seconds": seconds}
+            {
+                "rows": rows,
+                "output_rows": output_rows["n"],
+                "seconds": seconds,
+                "batch_seconds": batch_seconds,
+                "batch_speedup": round(seconds / batch_seconds, 2)
+                if batch_seconds > 0
+                else None,
+            }
         )
     return results
 
@@ -482,11 +586,18 @@ def _run_with_time_limit(
 
 
 def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
-    """Speedup of the newest label over the oldest (by recording order)."""
+    """Speedup of the newest label over the oldest (by recording order).
+
+    With a single label the cross-label comparison is skipped, but the
+    newest label's batch-vs-row columns are still surfaced.
+    """
     labels = [k for k in ledger if k != "speedup_newest_vs_oldest"]
-    if len(labels) < 2:
+    if not labels:
         return {}
-    base, new = ledger[labels[0]], ledger[labels[-1]]
+    new = ledger[labels[-1]]
+    if len(labels) < 2:
+        return _batch_columns(new, {"current": labels[-1]})
+    base = ledger[labels[0]]
     summary: Dict[str, object] = {"baseline": labels[0], "current": labels[-1]}
     base_f5 = {r["input_rows"]: r["seconds"] for r in base.get("figure5", ())}
     summary["figure5"] = {
@@ -531,6 +642,29 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     new_server = new.get("server_load", {}).get("p50_seconds")
     if base_server is not None and new_server:
         summary["server_load_p50"] = round(base_server / new_server, 2)
+    return _batch_columns(new, summary)
+
+
+def _batch_columns(new: Dict, summary: Dict[str, object]) -> Dict[str, object]:
+    """Batch-vs-row columns (PR 8 on): surfaced from the newest label so the
+    executor comparison is readable without digging into the entries."""
+    f5_batch = {
+        str(r["input_rows"]): r["batch_speedup"]
+        for r in new.get("figure5", ())
+        if r.get("batch_speedup") is not None
+    }
+    if f5_batch:
+        summary["figure5_batch_vs_row"] = f5_batch
+    overlap_batch = new.get("overlap_join", {}).get("batch_speedup")
+    if overlap_batch is not None:
+        summary["overlap_join_batch_vs_row"] = overlap_batch
+    generator_batch = {
+        str(r["rows"]): r["batch_speedup"]
+        for r in new.get("generator_scaling", ())
+        if r.get("batch_speedup") is not None
+    }
+    if generator_batch:
+        summary["generator_scaling_batch_vs_row"] = generator_batch
     return summary
 
 
@@ -539,7 +673,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr7.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr8.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(

@@ -68,6 +68,7 @@ from .abstract_model import (
     evaluate_snapshot_query,
 )
 from .backends import (
+    BatchBackend,
     ExecutionBackend,
     InMemoryBackend,
     SQLiteBackend,
@@ -133,6 +134,7 @@ __all__ = [
     "Table",
     "ExecutionBackend",
     "InMemoryBackend",
+    "BatchBackend",
     "SQLiteBackend",
     "available_backends",
     "resolve_backend",

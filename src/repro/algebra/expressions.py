@@ -1,6 +1,6 @@
 """Scalar expression language used in selections, projections and joins.
 
-Expressions support two evaluation modes:
+Expressions support three evaluation modes:
 
 * **interpreted** -- :meth:`Expression.evaluate` walks the AST against a
   *row dictionary* (attribute name -> value).  This is the reference
@@ -9,7 +9,12 @@ Expressions support two evaluation modes:
   reference to a positional index *once* against a schema and returns a
   nested closure over raw row *tuples*.  Physical operators compile each
   expression once per plan node and then evaluate millions of rows without
-  materialising a dictionary per row; this is the engine's hot path.
+  materialising a dictionary per row; this is the row engine's hot path.
+* **batch-compiled** -- :meth:`Expression.compile_batch` returns a kernel
+  mapping whole *columns* to a result column in one call.  The columnar
+  executor (:mod:`repro.engine.batch`) evaluates each node once per batch
+  through C-speed ``zip``/list comprehensions instead of once per row;
+  attribute references are zero-copy (the input column is returned as-is).
 
 The language is deliberately small -- attribute references, literals,
 comparisons, boolean connectives, arithmetic and a couple of SQL-ish helpers
@@ -51,6 +56,10 @@ __all__ = [
 #: A compiled expression: evaluates one raw row tuple to a value.
 CompiledExpression = Callable[[Tuple[Any, ...]], Any]
 
+#: A batch-compiled expression: evaluates ``(columns, row_count)`` to a column.
+#: ``columns`` holds one list per schema attribute, all of length ``row_count``.
+BatchExpression = Callable[[Sequence[list], int], list]
+
 #: Key under which the memoised structural hash is stashed on the instance.
 #: Excluded from structural equality, and invisible to the dataclass-generated
 #: ``__eq__`` of the node classes (which compares declared fields only).
@@ -80,6 +89,31 @@ class Expression:
 
     def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
         raise NotImplementedError
+
+    def compile_batch(self, schema: Sequence[str]) -> BatchExpression:
+        """Compile against a positional schema into a column-at-a-time kernel.
+
+        The returned kernel takes ``(columns, row_count)`` -- one list per
+        schema attribute -- and returns the result column, implementing the
+        same per-element semantics as the closure from :meth:`compile`.
+        Attribute references return their input column *by reference* (the
+        caller must not mutate result columns in place).
+        """
+        index = {name: position for position, name in enumerate(schema)}
+        return self._compile_batch(index)
+
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        # Fallback: lift the row closure over a zipped batch.  Every concrete
+        # node overrides this with a fused kernel; the lift keeps third-party
+        # Expression subclasses working unchanged on the batch executor.
+        row_fn = self._compile(index)
+
+        def lifted(columns: Sequence[list], n: int) -> list:
+            if not columns:  # zero-attribute schema: n rows of the empty tuple
+                return [row_fn(()) for _ in range(n)]
+            return [row_fn(row) for row in zip(*columns)]
+
+        return lifted
 
     def attributes(self) -> Tuple[str, ...]:
         """Attribute names referenced by the expression (for schema checks)."""
@@ -123,6 +157,15 @@ class Attribute(Expression):
             ) from None
         return lambda row: row[position]
 
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        try:
+            position = index[self.name]
+        except KeyError:
+            raise ExpressionError(
+                f"unknown attribute {self.name!r} in schema {list(index)}"
+            ) from None
+        return lambda columns, n: columns[position]
+
     def attributes(self) -> Tuple[str, ...]:
         return (self.name,)
 
@@ -142,6 +185,10 @@ class Literal(Expression):
     def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
         value = self.value
         return lambda row: value
+
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        value = self.value
+        return lambda columns, n: [value] * n
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -202,6 +249,42 @@ class Comparison(Expression):
 
         return compare
 
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        operator = _COMPARATORS[self.op]
+        # Mirror the row fast path: attribute vs literal runs a single list
+        # comprehension over the referenced column.
+        if isinstance(self.left, Attribute) and isinstance(self.right, Literal):
+            if self.left.name not in index:
+                self.left._compile(index)  # raises the standard unknown-attribute error
+            position = index[self.left.name]
+            constant = self.right.value
+            if constant is None:
+                return lambda columns, n: [False] * n
+            return lambda columns, n: [
+                v is not None and operator(v, constant) for v in columns[position]
+            ]
+        if isinstance(self.left, Attribute) and isinstance(self.right, Attribute):
+            left_pos = index.get(self.left.name)
+            right_pos = index.get(self.right.name)
+            if left_pos is None:
+                self.left._compile(index)
+            if right_pos is None:
+                self.right._compile(index)
+            return lambda columns, n: [
+                a is not None and b is not None and operator(a, b)
+                for a, b in zip(columns[left_pos], columns[right_pos])
+            ]
+        left_fn = self.left._compile_batch(index)
+        right_fn = self.right._compile_batch(index)
+
+        def compare_columns(columns: Sequence[list], n: int) -> list:
+            return [
+                a is not None and b is not None and operator(a, b)
+                for a, b in zip(left_fn(columns, n), right_fn(columns, n))
+            ]
+
+        return compare_columns
+
     def attributes(self) -> Tuple[str, ...]:
         return self.left.attributes() + self.right.attributes()
 
@@ -235,6 +318,35 @@ class BooleanOp(Expression):
             return lambda row: all(operand(row) for operand in compiled)
         return lambda row: any(operand(row) for operand in compiled)
 
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        compiled = tuple(operand._compile_batch(index) for operand in self.operands)
+        if len(compiled) == 2:
+            first, second = compiled
+            if self.op == "and":
+
+                def and_two(columns: Sequence[list], n: int) -> list:
+                    return [
+                        bool(a) and bool(b)
+                        for a, b in zip(first(columns, n), second(columns, n))
+                    ]
+
+                return and_two
+
+            def or_two(columns: Sequence[list], n: int) -> list:
+                return [
+                    bool(a) or bool(b)
+                    for a, b in zip(first(columns, n), second(columns, n))
+                ]
+
+            return or_two
+        fold = all if self.op == "and" else any
+
+        def combine(columns: Sequence[list], n: int) -> list:
+            evaluated = [operand(columns, n) for operand in compiled]
+            return [fold(values) for values in zip(*evaluated)]
+
+        return combine
+
     def attributes(self) -> Tuple[str, ...]:
         return tuple(a for operand in self.operands for a in operand.attributes())
 
@@ -255,6 +367,10 @@ class Not(Expression):
     def _compile(self, index: Mapping[str, int]) -> CompiledExpression:
         operand = self.operand._compile(index)
         return lambda row: not operand(row)
+
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        operand = self.operand._compile_batch(index)
+        return lambda columns, n: [not value for value in operand(columns, n)]
 
     def attributes(self) -> Tuple[str, ...]:
         return self.operand.attributes()
@@ -303,6 +419,19 @@ class Arithmetic(Expression):
             return operator(left, right)
 
         return apply
+
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        operator = _ARITHMETIC[self.op]
+        left_fn = self.left._compile_batch(index)
+        right_fn = self.right._compile_batch(index)
+
+        def apply_columns(columns: Sequence[list], n: int) -> list:
+            return [
+                None if a is None or b is None else operator(a, b)
+                for a, b in zip(left_fn(columns, n), right_fn(columns, n))
+            ]
+
+        return apply_columns
 
     def attributes(self) -> Tuple[str, ...]:
         return self.left.attributes() + self.right.attributes()
@@ -360,6 +489,35 @@ class FunctionCall(Expression):
             return lambda row: function(first(row), second(row))
         return lambda row: function(*(arg(row) for arg in compiled))
 
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        function = _FUNCTIONS[self.name]
+        compiled = tuple(arg._compile_batch(index) for arg in self.args)
+        if self.name in ("least", "greatest") and len(compiled) == 2:
+            # Same dominant shape as the row fast path: the snapshot rewrite
+            # wraps every join's period attributes in two-argument
+            # least/greatest, so this kernel runs once per join in batch mode.
+            pick = min if self.name == "least" else max
+            first, second = compiled
+
+            def pick_two_columns(columns: Sequence[list], n: int) -> list:
+                return [
+                    pick(left, right)
+                    if left is not None and right is not None
+                    else pick(v for v in (left, right) if v is not None)
+                    for left, right in zip(first(columns, n), second(columns, n))
+                ]
+
+            return pick_two_columns
+        if len(compiled) == 1:
+            (only,) = compiled
+            return lambda columns, n: [function(v) for v in only(columns, n)]
+
+        def apply_columns(columns: Sequence[list], n: int) -> list:
+            evaluated = [arg(columns, n) for arg in compiled]
+            return [function(*values) for values in zip(*evaluated)]
+
+        return apply_columns
+
     def attributes(self) -> Tuple[str, ...]:
         return tuple(a for arg in self.args for a in arg.attributes())
 
@@ -383,6 +541,12 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
+
+    def _compile_batch(self, index: Mapping[str, int]) -> BatchExpression:
+        operand = self.operand._compile_batch(index)
+        if self.negated:
+            return lambda columns, n: [v is not None for v in operand(columns, n)]
+        return lambda columns, n: [v is None for v in operand(columns, n)]
 
     def attributes(self) -> Tuple[str, ...]:
         return self.operand.attributes()

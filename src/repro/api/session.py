@@ -177,6 +177,8 @@ def connect(
     rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
     policy: Optional[ExecutionPolicy] = None,
     domain: "Union[TimeDomain, Tuple[int, int], int, None]" = None,
+    executor: str = "row",
+    parallel_workers: Optional[int] = None,
 ) -> "SessionProtocol":
     """Open a snapshot-semantics session: the transport-agnostic front door.
 
@@ -200,8 +202,9 @@ def connect(
     The time domain of a local session comes from the DSN's ``domain=lo:hi``
     query parameter or the ``domain=`` keyword (DSN wins); other recognised
     DSN parameters -- ``planner=on|off``, ``coalesce=final|none|...``,
-    ``plan_cache=on|off``, ``backend=name`` on ``memory://`` -- likewise
-    override their keyword counterparts.
+    ``plan_cache=on|off``, ``executor=row|batch``, and on ``memory://``
+    also ``backend=name`` and ``parallel_workers=n`` -- likewise override
+    their keyword counterparts.
 
     .. deprecated:: passing the time domain *positionally*
        (``connect((0, 24))``, ``connect(TimeDomain(0, 24))``,
@@ -234,6 +237,7 @@ def connect(
         return _connect_local(
             domain, backend, planner, coalesce, use_temporal_aggregate,
             database, plan_cache, rewriter_cls, policy,
+            executor, parallel_workers,
         )
 
     parts = urlsplit(target)
@@ -247,6 +251,12 @@ def connect(
         plan_cache = _dsn_bool("plan_cache", params.pop("plan_cache"))
     if "coalesce" in params:
         coalesce = params.pop("coalesce")
+    if "executor" in params:
+        executor = params.pop("executor")
+        if executor not in ("row", "batch"):
+            raise FluentError(
+                f"DSN parameter executor= must be 'row' or 'batch', got {executor!r}"
+            )
 
     if scheme == "repro":
         if params:
@@ -258,11 +268,19 @@ def connect(
 
         host = parts.hostname or "127.0.0.1"
         port = parts.port if parts.port is not None else DEFAULT_PORT
-        return RemoteSession(host, port, policy=policy)
+        return RemoteSession(host, port, policy=policy, executor=executor)
 
     if scheme == "memory":
         if "backend" in params:
             backend = params.pop("backend")
+        if "parallel_workers" in params:
+            raw = params.pop("parallel_workers")
+            try:
+                parallel_workers = int(raw)
+            except ValueError as exc:
+                raise FluentError(
+                    f"DSN parameter parallel_workers= must be an int, got {raw!r}"
+                ) from exc
     elif scheme == "sqlite":
         path = parts.path
         if path.startswith("/"):
@@ -294,6 +312,7 @@ def connect(
     return _connect_local(
         domain, backend, planner, coalesce, use_temporal_aggregate,
         database, plan_cache, rewriter_cls, policy,
+        executor, parallel_workers,
     )
 
 
@@ -307,6 +326,8 @@ def _connect_local(
     plan_cache: bool,
     rewriter_cls: type[SnapshotRewriter],
     policy: Optional[ExecutionPolicy],
+    executor: str = "row",
+    parallel_workers: Optional[int] = None,
 ) -> "Session":
     pipeline = QueryPipeline(
         _as_domain(domain),
@@ -318,6 +339,8 @@ def _connect_local(
         rewriter_cls=rewriter_cls,
         plan_cache=plan_cache,
         policy=policy,
+        executor=executor,
+        parallel_workers=parallel_workers,
     )
     return Session(pipeline)
 
@@ -396,6 +419,11 @@ class Session:
     @backend.setter
     def backend(self, value: "str | ExecutionBackend | None") -> None:
         self._pipeline.backend = value
+
+    @property
+    def executor(self) -> str:
+        """Physical executor of the in-memory engine: ``"row"`` or ``"batch"``."""
+        return self._pipeline.executor
 
     @property
     def policy(self) -> Optional[ExecutionPolicy]:
@@ -578,6 +606,23 @@ class Session:
             if strategies
             else ["  (no joins)"]
         )
+        # Which physical executor actually ran (the engine counts one probe
+        # per execution), plus the batch executor's partitioned-join counters.
+        ran = [
+            name
+            for name in ("row", "batch")
+            if execution_statistics.get(f"executor.{name}")
+        ]
+        if ran:
+            sections += ["", f"executor: {', '.join(ran)}"]
+            partition_counters = {
+                key: value
+                for key, value in sorted(execution_statistics.items())
+                if key.startswith("batch.")
+            }
+            sections += [
+                f"  {key} = {value}" for key, value in partition_counters.items()
+            ]
         if self._pipeline.caching:
             if execution_statistics.get("plan_cache.hits"):
                 cache_line = "hit (REWR + planner skipped)"

@@ -12,6 +12,7 @@ drivers), by name or as an instance.
 
 from .base import (
     BackendError,
+    BatchBackend,
     ExecutionBackend,
     InMemoryBackend,
     available_backends,
@@ -25,6 +26,7 @@ __all__ = [
     "BackendError",
     "ExecutionBackend",
     "InMemoryBackend",
+    "BatchBackend",
     "SQLiteBackend",
     "CompiledQuery",
     "SQLCompiler",

@@ -27,6 +27,7 @@ __all__ = [
     "BackendError",
     "ExecutionBackend",
     "InMemoryBackend",
+    "BatchBackend",
     "register_backend",
     "resolve_backend",
     "available_backends",
@@ -53,4 +54,42 @@ class InMemoryBackend:
         return "InMemoryBackend()"
 
 
+class BatchBackend:
+    """The in-memory engine with the columnar batch executor.
+
+    Registered as ``"batch"`` so every backend-name surface -- pipeline
+    ``backend=`` overrides, the conformance harness's ``backends=`` matrix,
+    policy fallbacks, server query frames -- can address the columnar
+    executor without new plumbing.  Equivalent to the memory backend with
+    ``executor="batch"``.
+    """
+
+    name = "batch"
+
+    def __init__(self, parallel_workers: Optional[int] = None) -> None:
+        self.parallel_workers = parallel_workers
+
+    def execute(
+        self,
+        plan: Operator,
+        database: Database,
+        statistics: Optional[Dict[str, int]] = None,
+        limits: Optional[QueryLimits] = None,
+    ) -> Table:
+        from ..engine.executor import execute as engine_execute
+
+        return engine_execute(
+            plan,
+            database,
+            statistics,
+            limits=limits,
+            executor="batch",
+            parallel_workers=self.parallel_workers,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchBackend(parallel_workers={self.parallel_workers!r})"
+
+
 register_backend(InMemoryBackend.name, InMemoryBackend)
+register_backend(BatchBackend.name, BatchBackend)

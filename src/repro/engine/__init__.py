@@ -1,8 +1,8 @@
 """Multiset engine substrate: tables, catalog, executor, window functions, optimizer."""
 
+from ..planner import optimize
 from .catalog import DEFAULT_PERIOD, Database
 from .executor import ExecutionContext, ExecutorError, PhysicalOperator, execute
-from .optimizer import optimize
 from .table import Table, TableError
 from .window import (
     WindowSpec,

@@ -89,6 +89,17 @@ class ExecutionContext:
     #: hash/nested-loop strategies (used by differential tests and the
     #: overlap-join microbenchmark baseline).
     interval_join: bool = True
+    #: Which physical engine runs the plan: ``"row"`` streams tuples through
+    #: this module, ``"batch"`` routes through the columnar executor in
+    #: :mod:`repro.engine.batch`.
+    executor: str = "row"
+    #: Process count for the batch executor's partitioned interval join;
+    #: ``None`` or ``1`` keeps it serial.  Only meaningful with
+    #: ``executor="batch"``.
+    parallel_workers: Optional[int] = None
+    #: Minimum combined join input size (rows) before the worker pool is
+    #: worth its startup cost.
+    parallel_threshold: int = 4096
     #: Cooperative fault-tolerance limits (see :class:`repro.execution
     #: .ExecutionPolicy`): a wall-clock :class:`~repro.execution.Deadline`
     #: polled inside operator and sweep loops, and a per-operator output-row
@@ -138,6 +149,20 @@ class PhysicalOperator(Operator):
     def execute(self, children: Sequence[Table], context: ExecutionContext) -> Table:
         raise NotImplementedError
 
+    def execute_batch(self, children: Sequence[Any], context: ExecutionContext) -> Any:
+        """Columnar twin of :meth:`execute`, over ``ColumnarBatch`` children.
+
+        The default bridges through the row implementation (expand the child
+        batches to tables, run :meth:`execute`, re-columnarise), so any
+        physical operator works on the batch executor unchanged; operators
+        with a native sweep kernel (coalesce/split/temporal aggregation)
+        override this.
+        """
+        from .batch import ColumnarBatch
+
+        tables = [child.to_table() for child in children]
+        return ColumnarBatch.from_table(self.execute(tables, context))
+
 
 def execute(
     plan: Operator,
@@ -146,6 +171,8 @@ def execute(
     backend: "str | ExecutionBackend | None" = None,
     interval_join: bool = True,
     limits: "Optional[QueryLimits]" = None,
+    executor: str = "row",
+    parallel_workers: Optional[int] = None,
 ) -> Table:
     """Execute a logical plan against the catalog and return a result table.
 
@@ -158,8 +185,15 @@ def execute(
     the nested-loop/hash fallback for overlap predicates.  ``limits``
     carries a per-execution deadline and row budget (see
     :class:`repro.execution.QueryLimits`), enforced cooperatively inside
-    the operator loops.
+    the operator loops.  ``executor`` picks the physical engine for the
+    in-memory backend: ``"row"`` (tuple streaming, this module) or
+    ``"batch"`` (columnar batches, :mod:`repro.engine.batch`), with
+    ``parallel_workers`` sizing the batch engine's partitioned-join pool.
     """
+    if executor not in ("row", "batch"):
+        raise ExecutorError(
+            f"unknown executor {executor!r}; expected 'row' or 'batch'"
+        )
     if backend is not None and backend != "memory":
         from ..backends.base import resolve_backend
         from ..execution import backend_accepts_limits
@@ -177,8 +211,15 @@ def execute(
         interval_join=interval_join,
         deadline=limits.deadline if limits is not None else None,
         row_budget=limits.row_budget if limits is not None else None,
+        executor=executor,
+        parallel_workers=parallel_workers,
     )
+    context.count(f"executor.{executor}")
     try:
+        if executor == "batch":
+            from .batch import execute_batch_plan
+
+            return execute_batch_plan(plan, context)
         return _execute(plan, context)
     finally:
         # Fold counts back even when a plan raises mid-execution, so the

@@ -1,14 +1,23 @@
-"""Compatibility shim: the rule-based optimizer grew into :mod:`repro.planner`.
+"""Deprecated compatibility shim: the optimizer grew into :mod:`repro.planner`.
 
 The engine's original optimizer (selection push-down, conjunct splitting,
 projection collapsing) lives on -- with full static schema inference for
 every operator, push-down through bag difference and the temporal extension
 operators, and join-predicate folding -- as the ``repro.planner`` subsystem.
-This module keeps the historical import surface working::
+This module keeps the historical import surface working but warns on
+import; migrate to::
 
-    from repro.engine.optimizer import optimize, available_attributes
+    from repro.planner import optimize, available_attributes
 """
+
+import warnings
 
 from ..planner import available_attributes, infer_schema, optimize, split_conjuncts
 
 __all__ = ["optimize", "available_attributes", "infer_schema", "split_conjuncts"]
+
+warnings.warn(
+    "repro.engine.optimizer is deprecated; import from repro.planner instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

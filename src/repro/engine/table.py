@@ -10,7 +10,18 @@ value tuples -- duplicates are meaningful (bag semantics) and order is not.
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import PlanError
 
@@ -51,7 +62,7 @@ class Table:
     conversion, appends); query logic lives in :mod:`repro.engine.executor`.
     """
 
-    __slots__ = ("name", "schema", "rows", "_index")
+    __slots__ = ("name", "schema", "rows", "_index", "_columns_cache")
 
     def __init__(
         self,
@@ -65,6 +76,9 @@ class Table:
             raise TableError(f"duplicate attribute names in schema {self.schema}")
         self._index: Dict[str, int] = {name: i for i, name in enumerate(self.schema)}
         self.rows: List[Row] = []
+        # Memoised columnar transpose (rows identity, length, columns); owned
+        # by ColumnarBatch.from_table, invalidated by growth or replacement.
+        self._columns_cache: Optional[Tuple[List[Row], int, List[List[Any]]]] = None
         for row in rows:
             self.append(row)
 

@@ -36,6 +36,8 @@ __all__ = [
     "sum_over_partition",
     "apply_window",
     "partition_rows",
+    "collect_group_endpoints",
+    "split_segments",
 ]
 
 
@@ -163,3 +165,74 @@ def apply_window(
                 for position, row in enumerate(ordered)
             )
     return result
+
+
+# -- columnar sweep helpers (batch executor) -------------------------------------------
+#
+# The split operator's batch path works on parallel columns instead of row
+# tuples; these two helpers are its sweep-line core.  They mirror the window
+# SQL exactly: endpoints are collected per group from *all* rows (NULL and
+# degenerate intervals included -- their points still cut other rows in the
+# row engine too), and a cut point only applies where ``begin < p < end``
+# holds under three-valued comparison (NULL cuts never do).
+
+
+def collect_group_endpoints(
+    keys: Sequence[Any],
+    begins: Sequence[Any],
+    ends: Sequence[Any],
+    into: Dict[Any, set] | None = None,
+) -> Dict[Any, set]:
+    """Accumulate every interval end point per group key.
+
+    ``into`` lets callers merge several inputs (the split operator collects
+    from both of its children) into one mapping.
+    """
+    endpoints: Dict[Any, set] = {} if into is None else into
+    get = endpoints.get
+    for key, begin, end in zip(keys, begins, ends):
+        bucket = get(key)
+        if bucket is None:
+            bucket = endpoints[key] = set()
+        bucket.add(begin)
+        bucket.add(end)
+    return endpoints
+
+
+def split_segments(
+    keys: Sequence[Any],
+    begins: Sequence[Any],
+    ends: Sequence[Any],
+    endpoints: Mapping[Any, set],
+) -> Tuple[List[int], List[Any], List[Any]]:
+    """Cut each row's interval at its group's end points, columnar flavour.
+
+    Returns ``(row_indexes, piece_begins, piece_ends)``: row ``i`` of the
+    input contributes one entry per piece, so callers rebuild the data
+    columns with one ``[column[i] for i in row_indexes]`` gather per
+    attribute.  Rows with NULL or degenerate intervals vanish (SQL's
+    ``WHERE begin < end``).
+    """
+    row_indexes: List[int] = []
+    piece_begins: List[Any] = []
+    piece_ends: List[Any] = []
+    empty: frozenset = frozenset()
+    for position, (key, begin, end) in enumerate(zip(keys, begins, ends)):
+        if begin is None or end is None or begin >= end:
+            continue
+        cuts = sorted(
+            p
+            for p in endpoints.get(key, empty)
+            if p is not None and begin < p < end
+        )
+        if not cuts:
+            row_indexes.append(position)
+            piece_begins.append(begin)
+            piece_ends.append(end)
+            continue
+        bounds = [begin, *cuts, end]
+        for piece_begin, piece_end in zip(bounds, bounds[1:]):
+            row_indexes.append(position)
+            piece_begins.append(piece_begin)
+            piece_ends.append(piece_end)
+    return row_indexes, piece_begins, piece_ends

@@ -21,19 +21,35 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.expressions import Attribute
 from ..algebra.operators import AggregateSpec, Operator, Projection
 from ..engine.executor import ExecutionContext, ExecutorError, PhysicalOperator
 from ..engine.table import Table, tuple_getter
+from ..engine.window import collect_group_endpoints, split_segments
+from ..temporal.coalesce import coalesce_column_sets
 from .periodenc import T_BEGIN, T_END
+
+if TYPE_CHECKING:  # engine.batch imports this module's host package lazily
+    from ..engine.batch import ColumnarBatch
 
 __all__ = ["CoalesceOperator", "SplitOperator", "TemporalAggregateOperator"]
 
 
 def _data_attributes(table: Table, period: Tuple[str, str]) -> Tuple[str, ...]:
     return tuple(a for a in table.schema if a not in period)
+
+
+def _batch_group_keys(batch: "ColumnarBatch", attributes: Tuple[str, ...]) -> Sequence[Any]:
+    """Per-row group keys of a batch: zero-copy for one attribute, zipped tuples else."""
+    if len(attributes) == 1:
+        return batch.columns[batch.column_index(attributes[0])]
+    if attributes:
+        return list(
+            zip(*(batch.columns[batch.column_index(a)] for a in attributes))
+        )
+    return [()] * len(batch.counts)
 
 
 @dataclass(frozen=True)
@@ -158,6 +174,39 @@ class CoalesceOperator(PhysicalOperator):
         context.count("coalesce_output_rows", len(result))
         return result
 
+    def execute_batch(
+        self, children: Sequence["ColumnarBatch"], context: ExecutionContext
+    ) -> "ColumnarBatch":
+        """Columnar coalescing via :func:`repro.temporal.coalesce.coalesce_column_sets`.
+
+        Same sweep as :meth:`execute`, but the input multiplicity column
+        feeds the +1/-1 events directly and each maximal interval comes back
+        as *one* batch entry carrying its open-interval count -- no
+        duplicate tuples are materialised until the batch leaves the engine.
+        The kernel takes and returns the grouping attributes as columns, so
+        the vectorized path never builds key tuples at all.
+        """
+        from ..engine.batch import ColumnarBatch
+
+        (batch,) = children
+        begin_attr, end_attr = self.period
+        data = tuple(a for a in batch.schema if a not in self.period)
+        begins = batch.columns[batch.column_index(begin_attr)]
+        ends = batch.columns[batch.column_index(end_attr)]
+        data_columns = [batch.columns[batch.column_index(a)] for a in data]
+        if context._limited:
+            context.checkpoint()
+        out_data, out_begins, out_ends, out_counts = coalesce_column_sets(
+            data_columns, begins, ends, batch.counts, all_ones=batch.all_ones()
+        )
+        columns = out_data + [out_begins, out_ends]
+        result = ColumnarBatch("coalesce", data + self.period, columns, out_counts)
+        context.count("coalesce_input_rows", batch.weight())
+        context.count("coalesce_output_rows", result.weight())
+        if context._limited:
+            context.checkpoint(result.weight())
+        return result
+
 
 @dataclass(frozen=True)
 class SplitOperator(PhysicalOperator):
@@ -260,6 +309,61 @@ class SplitOperator(PhysicalOperator):
                 piece[end_index] = piece_end
                 result.append(tuple(piece))
         context.count("split_output_rows", len(result))
+        return result
+
+    def execute_batch(
+        self, children: Sequence["ColumnarBatch"], context: ExecutionContext
+    ) -> "ColumnarBatch":
+        """Columnar split via the sweep helpers in :mod:`repro.engine.window`.
+
+        End points are collected per group from both children's columns,
+        then each left row's interval is cut once; data columns are rebuilt
+        with one index gather per attribute and multiplicities follow their
+        source row (every duplicate splits identically).
+        """
+        from ..engine.batch import ColumnarBatch
+
+        left, right = children
+        begin_attr, end_attr = self.period
+        for attribute in self.group_by:
+            if not left.has_attribute(attribute):
+                raise ExecutorError(
+                    f"split group attribute {attribute!r} missing from {left.schema}"
+                )
+        if context._limited:
+            context.checkpoint()
+
+        endpoints: Dict[Any, set] = {}
+        for batch in (left, right):
+            collect_group_endpoints(
+                _batch_group_keys(batch, self.group_by),
+                batch.columns[batch.column_index(begin_attr)],
+                batch.columns[batch.column_index(end_attr)],
+                into=endpoints,
+            )
+        row_indexes, piece_begins, piece_ends = split_segments(
+            _batch_group_keys(left, self.group_by),
+            left.columns[left.column_index(begin_attr)],
+            left.columns[left.column_index(end_attr)],
+            endpoints,
+        )
+        begin_index = left.column_index(begin_attr)
+        end_index = left.column_index(end_attr)
+        columns: List[List[Any]] = []
+        for position, column in enumerate(left.columns):
+            if position == begin_index:
+                columns.append(piece_begins)
+            elif position == end_index:
+                columns.append(piece_ends)
+            else:
+                columns.append([column[i] for i in row_indexes])
+        counts = left.counts
+        result = ColumnarBatch(
+            "split", left.schema, columns, [counts[i] for i in row_indexes]
+        )
+        context.count("split_output_rows", result.weight())
+        if context._limited:
+            context.checkpoint(result.weight())
         return result
 
     def _endpoints_by_group(
@@ -380,8 +484,68 @@ class TemporalAggregateOperator(PhysicalOperator):
         for group_key, facts in groups.items():
             if limited:
                 context.checkpoint(len(result.rows))
-            self._sweep_group(group_key, facts, result)
+            self._sweep_group(group_key, facts, result.append)
         return result
+
+    def execute_batch(
+        self, children: Sequence["ColumnarBatch"], context: ExecutionContext
+    ) -> "ColumnarBatch":
+        """Columnar fused split + aggregation.
+
+        The pre-aggregation pass builds its bucket keys with one nested
+        ``zip`` over (group, argument, period) columns -- the key tuples are
+        constructed at C speed -- weighting each row by its multiplicity;
+        the per-group sweep is shared with the row path.
+        """
+        from ..engine.batch import ColumnarBatch
+
+        (batch,) = children
+        begin_attr, end_attr = self.period
+        n = len(batch.counts)
+        schema = batch.schema
+        group_columns = [batch.columns[batch.column_index(a)] for a in self.group_by]
+        argument_columns = [
+            [None] * n
+            if spec.argument is None
+            else spec.argument.compile_batch(schema)(batch.columns, n)
+            for spec in self.aggregates
+        ]
+        begins = batch.columns[batch.column_index(begin_attr)]
+        ends = batch.columns[batch.column_index(end_attr)]
+        if context._limited:
+            context.checkpoint()
+
+        buckets: Dict[Tuple[Any, ...], int] = {}
+        get = buckets.get
+        for key, count in zip(
+            zip(*group_columns, *argument_columns, begins, ends), batch.counts
+        ):
+            begin, end = key[-2], key[-1]
+            if begin is None or end is None or begin >= end:
+                continue
+            buckets[key] = get(key, 0) + count
+        context.count("preaggregated_rows", len(buckets))
+
+        n_group = len(self.group_by)
+        n_args = len(self.aggregates)
+        groups: Dict[Tuple[Any, ...], List[Tuple[int, int, Tuple[Any, ...], int]]] = {}
+        for key, multiplicity in buckets.items():
+            group_key = key[:n_group]
+            args = key[n_group : n_group + n_args]
+            begin, end = key[-2], key[-1]
+            groups.setdefault(group_key, []).append((begin, end, args, multiplicity))
+
+        rows: List[Tuple[Any, ...]] = []
+        append = rows.append
+        limited = context._limited
+        for group_key, facts in groups.items():
+            if limited:
+                context.checkpoint(len(rows))
+            self._sweep_group(group_key, facts, append)
+        out_schema = (
+            self.group_by + tuple(spec.alias for spec in self.aggregates) + self.period
+        )
+        return ColumnarBatch.from_rows("temporal_aggregation", out_schema, rows)
 
     # -- sweep ---------------------------------------------------------------------------
 
@@ -389,7 +553,7 @@ class TemporalAggregateOperator(PhysicalOperator):
         self,
         group_key: Tuple[Any, ...],
         facts: List[Tuple[int, int, Tuple[Any, ...], int]],
-        result: Table,
+        append: Callable[[Tuple[Any, ...]], None],
     ) -> None:
         events: Dict[int, List[Tuple[int, Tuple[Any, ...], int]]] = {}
         for begin, end, args, multiplicity in facts:
@@ -401,7 +565,7 @@ class TemporalAggregateOperator(PhysicalOperator):
         previous: Optional[int] = None
         for ts in timestamps:
             if previous is not None and previous < ts and state.has_open_rows():
-                result.append(group_key + state.values() + (previous, ts))
+                append(group_key + state.values() + (previous, ts))
             for sign, args, multiplicity in events[ts]:
                 state.apply(sign, args, multiplicity)
             previous = ts

@@ -89,13 +89,25 @@ class QueryPipeline:
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
         plan_cache: bool = False,
         policy: Optional[ExecutionPolicy] = None,
+        executor: str = "row",
+        parallel_workers: Optional[int] = None,
     ) -> None:
+        if executor not in ("row", "batch"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'row' or 'batch'"
+            )
         self.domain = domain
         self.database = database if database is not None else Database()
         self.period_semiring = PeriodSemiring(NATURAL, domain)
         self.optimize = optimize
         self.backend = backend
         self.policy = policy
+        #: Physical engine for memory-backend plans: ``"row"`` streams
+        #: tuples, ``"batch"`` runs the columnar executor
+        #: (:mod:`repro.engine.batch`); ``parallel_workers`` sizes the batch
+        #: engine's partitioned interval-join pool.
+        self.executor = executor
+        self.parallel_workers = parallel_workers
         # Kept alongside the rewriter instance so callers that re-create the
         # configuration elsewhere (the conformance harness builds fresh
         # middlewares per execution) can mirror this pipeline exactly.
@@ -277,6 +289,7 @@ class QueryPipeline:
         backend: "str | ExecutionBackend | None" = None,
         final_coalesce: bool = False,
         limits: Optional[QueryLimits] = None,
+        executor: Optional[str] = None,
     ) -> Table:
         """One policy-free execution under externally owned :class:`QueryLimits`.
 
@@ -285,10 +298,12 @@ class QueryPipeline:
         it from the event loop while the worker thread executes
         (:meth:`repro.execution.Deadline.cancel`); retries and failover stay
         with the *client's* policy, which observes transport failures.
+        ``executor`` overrides the pipeline's physical executor for this one
+        request (the server forwards the query frame's ``executor`` field).
         """
         plan = self.rewrite(query, statistics, final_coalesce)
         chosen = backend if backend is not None else self.backend
-        return self._run_plan(plan, statistics, chosen, limits)
+        return self._run_plan(plan, statistics, chosen, limits, executor)
 
     def _run_plan(
         self,
@@ -296,9 +311,17 @@ class QueryPipeline:
         statistics: Optional[Dict[str, int]],
         chosen: "str | ExecutionBackend | None",
         limits: Optional[QueryLimits],
+        executor: Optional[str] = None,
     ) -> Table:
         if chosen is None or chosen == "memory":
-            return engine_execute(plan, self.database, statistics, limits=limits)
+            return engine_execute(
+                plan,
+                self.database,
+                statistics,
+                limits=limits,
+                executor=executor if executor is not None else self.executor,
+                parallel_workers=self.parallel_workers,
+            )
         resolved = resolve_backend(chosen)
         if getattr(resolved, "optimize", False):
             # The pipeline already applied (or deliberately skipped, with

@@ -100,6 +100,8 @@ class QueryServer:
         coalesce: str = "final",
         use_temporal_aggregate: bool = True,
         plan_cache: bool = True,
+        executor: str = "row",
+        parallel_workers: Optional[int] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: Optional[int] = None,
@@ -120,6 +122,8 @@ class QueryServer:
                 use_temporal_aggregate=use_temporal_aggregate,
                 database=database,
                 plan_cache=plan_cache,
+                executor=executor,
+                parallel_workers=parallel_workers,
             )
         self._session = session
         self._pipeline: QueryPipeline = session.pipeline
@@ -325,6 +329,7 @@ class QueryServer:
             "backend": backend_name,
             "planner": pipeline.optimize,
             "coalesce": pipeline.coalesce,
+            "executor": pipeline.executor,
             "max_frame_bytes": self.max_frame_bytes,
         }
 
@@ -350,6 +355,11 @@ class QueryServer:
             backend = frame.get("backend")
             if backend is not None and not isinstance(backend, str):
                 raise ProtocolError("query backend override must be a backend name")
+            executor = frame.get("executor")
+            if executor is not None and executor not in ("row", "batch"):
+                raise ProtocolError(
+                    f"query executor override must be 'row' or 'batch', got {executor!r}"
+                )
             timeout = frame.get("timeout_seconds")
             seconds = (
                 min(float(timeout), self.max_query_seconds)
@@ -375,6 +385,7 @@ class QueryServer:
                         backend,
                         final_coalesce,
                         limits,
+                        executor,
                     ),
                 )
             finally:

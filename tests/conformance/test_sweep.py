@@ -46,9 +46,16 @@ pytestmark = pytest.mark.conformance
 @settings(max_examples=200)
 @given(config=generator_configs(), query=conformance_queries())
 def test_randomized_plans_conform_on_generated_catalogs(config, query):
-    """200 randomized plan/dataset cases, all backends, planner on and off."""
+    """200 randomized plan/dataset cases, all backends, planner on and off.
+
+    The matrix includes the columnar batch executor (the registered
+    ``"batch"`` backend) alongside the row engine and SQLite, so every case
+    certifies all three execution paths at every input changepoint.
+    """
     database = generate_catalog(config)
-    assert_conformant(query, database, config.domain)
+    assert_conformant(
+        query, database, config.domain, backends=("memory", "sqlite", "batch")
+    )
 
 
 @settings(max_examples=60)
@@ -122,4 +129,10 @@ def test_every_interval_profile_conforms_at_scale(profile, seed):
     )
     database = generate_catalog(config)
     for query in _profile_queries():
-        assert_conformant(query, database, config.domain, max_points=24)
+        assert_conformant(
+            query,
+            database,
+            config.domain,
+            backends=("memory", "sqlite", "batch"),
+            max_points=24,
+        )

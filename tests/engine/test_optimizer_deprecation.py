@@ -1,0 +1,43 @@
+"""The engine optimizer shim is deprecated; ``repro.planner`` is canonical."""
+
+import importlib
+import sys
+import warnings
+
+import repro.planner
+
+
+def _reimport_shim():
+    sys.modules.pop("repro.engine.optimizer", None)
+    return importlib.import_module("repro.engine.optimizer")
+
+
+class TestOptimizerShimDeprecation:
+    def test_import_emits_deprecation_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _reimport_shim()
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert deprecations, "importing repro.engine.optimizer must warn"
+        assert "repro.planner" in str(deprecations[0].message)
+
+    def test_shim_reexports_the_planner_functions(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = _reimport_shim()
+        assert shim.optimize is repro.planner.optimize
+        assert shim.available_attributes is repro.planner.available_attributes
+        assert shim.infer_schema is repro.planner.infer_schema
+        assert shim.split_conjuncts is repro.planner.split_conjuncts
+
+    def test_package_import_does_not_warn(self):
+        """Importing repro (or repro.engine) must not touch the shim."""
+        for name in ("repro", "repro.engine"):
+            sys.modules.pop(name, None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.engine")
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+    def test_planner_is_the_canonical_module(self):
+        assert repro.planner.optimize.__module__.startswith("repro.planner")

@@ -28,7 +28,7 @@ from repro.engine import (
     running_sum,
     sum_over_partition,
 )
-from repro.engine.optimizer import available_attributes, split_conjuncts
+from repro.planner import available_attributes, split_conjuncts
 
 
 @pytest.fixture

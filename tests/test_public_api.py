@@ -57,6 +57,7 @@ EXPECTED_REPRO_EXPORTS = {
     "Table",
     "ExecutionBackend",
     "InMemoryBackend",
+    "BatchBackend",
     "SQLiteBackend",
     "available_backends",
     "resolve_backend",
