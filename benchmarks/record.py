@@ -25,6 +25,14 @@ track across PRs and appends the timings to a JSON ledger:
   (the rewritten-plan cache cleared before every run, so REWR + planner run
   each time) vs. warm (the cache reused, so both are skipped): the per-run
   speedup the session API's plan cache buys on rewrite-heavy workloads;
+* **view maintenance** -- incremental materialized views vs. full
+  re-execution: a coalesced grouped temporal aggregate is registered as a
+  view (:meth:`~repro.api.Session.materialize`) over generated catalogs at
+  2k/8k/32k base rows, then a 1%-churn delta batch (bag deletes + fresh
+  inserts through catalog DML) is applied incrementally and compared with
+  recomputing the view from scratch; the ledger records the per-batch
+  apply time, the full-refresh time, and their ratio (the PR 9 acceptance
+  floor is >= 5x at 32k rows);
 * **server load** -- a concurrent load generator against the asyncio query
   server (:class:`repro.server.QueryServer`): N thread-per-client
   :class:`~repro.client.RemoteSession` connections run the same grouped
@@ -114,6 +122,9 @@ PLAN_CACHE_EXECUTIONS = 40
 SERVER_CLIENTS = 8
 SERVER_QUERIES = 12
 SERVER_ROWS = 400
+#: Base-row counts and churn fraction of the view-maintenance workload.
+VIEW_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
+VIEW_CHURN = 0.01
 
 
 def time_figure5(
@@ -448,6 +459,81 @@ def time_plan_cache(
     }
 
 
+def time_view_maintenance(
+    sizes: Sequence[int], churn: float, repetitions: int, seed: Optional[int]
+) -> List[Dict[str, object]]:
+    """Incremental view maintenance vs. full re-execution under churn.
+
+    A grouped temporal aggregate (high-cardinality group key, so a small
+    churn batch dirties a small fraction of the groups) is materialized
+    over a generated catalog; one churn batch deletes ``churn`` of the base
+    rows and re-inserts the same rows through catalog DML, so the catalog
+    -- and hence the view -- returns to its starting state and the timed
+    region is repeatable.  The refresh leg recomputes the view from scratch
+    over the same catalog.  ``incremental_speedup`` is full-refresh time
+    over per-batch apply time: how much cheaper the delta path makes one
+    round of churn.
+    """
+    import random
+
+    results: List[Dict[str, object]] = []
+    for rows in sizes:
+        config = GeneratorConfig(
+            rows=rows,
+            domain_size=256,
+            seed=31 if seed is None else seed,
+            interval_profile="mixed",
+            duplicate_rate=0.1,
+            groups=16,
+            values=32,
+            keys=max(64, rows // 8),
+        )
+        database = generate_catalog(config)
+        session = connect(config.domain, database=database)
+        relation = (
+            session.table("R")
+            .group_by("r_key")
+            .agg(cnt="count(*)", total="sum(r_val)")
+        )
+        view = session.materialize(relation, name="key_totals")
+
+        churn_rows = max(1, int(rows * churn))
+        rng = random.Random(f"view-maintenance/{config.seed}/{rows}")
+        base_rows = database.table("R").rows
+        positions = rng.sample(range(len(base_rows)), churn_rows)
+        batch = [base_rows[position] for position in positions]
+
+        def run_churn_batch() -> None:
+            # Delete + re-insert the same rows: two delta batches, and the
+            # catalog (hence the view) is back where it started, so best-of
+            # repetitions time identical work.
+            session.delete("R", batch)
+            session.insert("R", batch)
+
+        apply_seconds = _best_of(run_churn_batch, repetitions) / 2
+        refresh_seconds = _best_of(view.refresh, repetitions)
+        if not view.verify():
+            raise RuntimeError(
+                f"view maintenance diverged from re-execution at {rows} rows"
+            )
+        touched = view.counters["incremental.resweep_groups"]
+        results.append(
+            {
+                "rows": rows,
+                "churn_rows": churn_rows,
+                "view_groups": len(view),
+                "apply_seconds_per_batch": apply_seconds,
+                "refresh_seconds": refresh_seconds,
+                "resweep_groups_total": touched,
+                "incremental_speedup": round(refresh_seconds / apply_seconds, 2)
+                if apply_seconds > 0
+                else None,
+            }
+        )
+        session.close()
+    return results
+
+
 def _percentile(sorted_seconds: Sequence[float], q: float) -> Optional[float]:
     if not sorted_seconds:
         return None
@@ -642,6 +728,20 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     new_server = new.get("server_load", {}).get("p50_seconds")
     if base_server is not None and new_server:
         summary["server_load_p50"] = round(base_server / new_server, 2)
+    # The view-maintenance workload only exists from PR 9 on.
+    base_views = {
+        r["rows"]: r["apply_seconds_per_batch"]
+        for r in base.get("view_maintenance", ())
+    }
+    summary_views = {
+        str(r["rows"]): round(
+            base_views[r["rows"]] / r["apply_seconds_per_batch"], 2
+        )
+        for r in new.get("view_maintenance", ())
+        if r["rows"] in base_views and r["apply_seconds_per_batch"] > 0
+    }
+    if summary_views:
+        summary["view_maintenance_apply"] = summary_views
     return _batch_columns(new, summary)
 
 
@@ -665,6 +765,13 @@ def _batch_columns(new: Dict, summary: Dict[str, object]) -> Dict[str, object]:
     }
     if generator_batch:
         summary["generator_scaling_batch_vs_row"] = generator_batch
+    view_speedups = {
+        str(r["rows"]): r["incremental_speedup"]
+        for r in new.get("view_maintenance", ())
+        if r.get("incremental_speedup") is not None
+    }
+    if view_speedups:
+        summary["view_maintenance_incremental_vs_refresh"] = view_speedups
     return summary
 
 
@@ -673,7 +780,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr8.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr9.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -701,6 +808,15 @@ def main() -> int:
         help="Timed queries per client of the server-load workload.",
     )
     parser.add_argument("--server-rows", type=int, default=SERVER_ROWS)
+    parser.add_argument(
+        "--view-sizes", type=int, nargs="+", default=list(VIEW_SIZES)
+    )
+    parser.add_argument(
+        "--view-churn",
+        type=float,
+        default=VIEW_CHURN,
+        help="Fraction of base rows churned per delta batch (default 1%%).",
+    )
     parser.add_argument(
         "--workloads",
         nargs="+",
@@ -754,6 +870,9 @@ def main() -> int:
         ),
         "server_load": lambda: time_server_load(
             args.server_clients, args.server_queries, args.server_rows, args.seed
+        ),
+        "view_maintenance": lambda: time_view_maintenance(
+            args.view_sizes, args.view_churn, args.repetitions, args.seed
         ),
     }
     if args.workloads:

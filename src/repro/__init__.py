@@ -87,6 +87,7 @@ from .client import RemoteSession
 from .errors import (
     BackendError,
     BackendUnavailableError,
+    IncrementalError,
     ParseError,
     PlanError,
     ProtocolError,
@@ -96,6 +97,7 @@ from .errors import (
 )
 from .execution import ExecutionPolicy
 from .faultinject import FaultInjectingBackend, FaultSchedule
+from .incremental import Delta, MaterializedView
 from .logical_model import PeriodDatabase, PeriodKRelation, evaluate_period_query
 from .rewriter import SnapshotMiddleware
 from .semirings import BOOLEAN, NATURAL, Semiring
@@ -146,6 +148,9 @@ __all__ = [
     "ProtocolError",
     "QueryTimeoutError",
     "ResourceLimitError",
+    "IncrementalError",
+    "Delta",
+    "MaterializedView",
     "ExecutionPolicy",
     "FaultSchedule",
     "FaultInjectingBackend",

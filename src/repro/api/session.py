@@ -133,6 +133,9 @@ class SessionProtocol(Protocol):
     def check(self, query: Operator, **kwargs: Any) -> Any:
         ...
 
+    def materialize(self, relation: TemporalRelation, name: str) -> Any:
+        ...
+
     def explain_relation(self, relation: TemporalRelation) -> str:
         ...
 
@@ -539,6 +542,53 @@ class Session:
         kwargs.setdefault("coalesce", self._pipeline.coalesce)
         kwargs.setdefault("use_temporal_aggregate", self._pipeline.use_temporal_aggregate)
         return check_conformance(query, self.database, self.domain, **kwargs)
+
+    # -- materialized views -----------------------------------------------------------
+
+    def materialize(self, relation: TemporalRelation, name: str) -> Any:
+        """Register a relation as an incrementally maintained view.
+
+        The relation's rewritten plan is evaluated once and its contents
+        registered as catalog table ``name`` (DDL -- cached plans
+        invalidate); afterwards catalog DML (``session.insert`` /
+        ``session.delete``) keeps the view current by Z-set delta
+        propagation instead of re-execution.  Returns the
+        :class:`~repro.incremental.MaterializedView`, whose ``apply`` /
+        ``explain`` / ``verify`` expose the incremental counters
+        (``incremental.delta_rows``, ``incremental.resweep_groups``,
+        ``incremental.full_refresh``).
+        """
+        self._ensure_open()
+        if not isinstance(relation, TemporalRelation):
+            raise FluentError(
+                f"materialize expects a TemporalRelation, got {relation!r}"
+            )
+        return self._pipeline.materialize(
+            relation.plan, name, final_coalesce=relation._final_coalesce
+        )
+
+    def view(self, name: str) -> Any:
+        """A registered :class:`~repro.incremental.MaterializedView` by name."""
+        return self._pipeline.view(name)
+
+    def views(self) -> Tuple[str, ...]:
+        """Names of the registered materialized views."""
+        return self._pipeline.view_names()
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view and drop its backing table (DDL)."""
+        self._ensure_open()
+        self._pipeline.drop_view(name)
+
+    def insert(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Append rows to a catalog table (DML; feeds registered views)."""
+        self._ensure_open()
+        self.database.insert(name, rows)
+
+    def delete(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Delete one copy per given row (DML; feeds registered views)."""
+        self._ensure_open()
+        self.database.delete(name, rows)
 
     # -- plan cache -------------------------------------------------------------------
 

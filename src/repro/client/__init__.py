@@ -5,6 +5,6 @@ surface; build one with ``repro.connect("repro://host:port")``.
 """
 
 from .connection import RemoteConnection
-from .session import RemoteSession
+from .session import RemoteSession, RemoteView
 
-__all__ = ["RemoteSession", "RemoteConnection"]
+__all__ = ["RemoteSession", "RemoteView", "RemoteConnection"]

@@ -40,7 +40,7 @@ from ..temporal.period_semiring import PeriodSemiring
 from ..temporal.timedomain import TimeDomain
 from .connection import RemoteConnection
 
-__all__ = ["RemoteSession"]
+__all__ = ["RemoteSession", "RemoteView"]
 
 #: Options ``check`` may forward to the server (the JSON-able subset of
 #: :func:`repro.conformance.check_conformance`'s keywords).
@@ -177,6 +177,58 @@ class RemoteSession:
         if not isinstance(plan, Operator):
             raise FluentError(f"query expects an Operator tree, got {plan!r}")
         return TemporalRelation(self, plan)
+
+    # -- materialized views -----------------------------------------------------------
+
+    def materialize(self, relation: TemporalRelation, name: str) -> "RemoteView":
+        """Register a relation as a server-side incrementally maintained view.
+
+        The logical plan ships as JSON (like a query frame); the server
+        rewrites, evaluates and registers it against its shared catalog, and
+        subsequent ``insert`` / ``delete`` calls -- from *any* client -- keep
+        it current by delta propagation.  Returns a :class:`RemoteView`.
+        """
+        from ..server.plans import plan_to_json
+
+        self._ensure_open()
+        payload = self._connection.request(
+            {
+                "type": "materialize",
+                "name": name,
+                "plan": plan_to_json(relation.plan),
+                "final_coalesce": relation._final_coalesce,
+            }
+        )
+        return RemoteView(self, name, tuple(payload["schema"]))
+
+    def view(self, name: str) -> "RemoteView":
+        """A handle on an existing server-side view."""
+        self._ensure_open()
+        payload = self._connection.request({"type": "view_info", "name": name})
+        return RemoteView(self, name, tuple(payload["schema"]))
+
+    def views(self) -> Tuple[str, ...]:
+        """Names of the views registered on the server."""
+        self._ensure_open()
+        return tuple(self._connection.request({"type": "view_info"})["views"])
+
+    def drop_view(self, name: str) -> None:
+        self._ensure_open()
+        self._connection.request({"type": "drop_view", "name": name})
+
+    def insert(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Append rows to a server table (DML; feeds registered views)."""
+        self._ensure_open()
+        self._connection.request(
+            {"type": "insert", "name": name, "rows": [list(row) for row in rows]}
+        )
+
+    def delete(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Delete one copy per given row (DML; feeds registered views)."""
+        self._ensure_open()
+        self._connection.request(
+            {"type": "delete", "name": name, "rows": [list(row) for row in rows]}
+        )
 
     # -- execution --------------------------------------------------------------------
 
@@ -366,6 +418,96 @@ class RemoteSession:
             }
         )
         return payload["text"]
+
+
+class RemoteView:
+    """A client handle on a server-side incrementally maintained view.
+
+    Mirrors the local :class:`~repro.incremental.MaterializedView` surface
+    (``apply`` / ``rows`` / ``table`` / ``counters`` / ``stale`` /
+    ``verify``), each call a frame round-trip; the view itself -- its delta
+    propagation state and backing table -- lives on the server and is shared
+    by every connected client.
+    """
+
+    def __init__(self, session: RemoteSession, name: str, schema: Tuple[str, ...]):
+        self._session = session
+        self.name = name
+        self.schema = schema
+
+    def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self._session._ensure_open()
+        return self._session._connection.request(frame)
+
+    def apply(
+        self,
+        deltas: Iterable[Any],
+        statistics: Optional[Dict[str, int]] = None,
+    ) -> int:
+        """Ship signed-row deltas to the server view; returns the new size.
+
+        ``deltas`` is an iterable of :class:`~repro.incremental.Delta`
+        (or anything with ``.relation`` and ``.entries``).
+        """
+        payload = self._request(
+            {
+                "type": "view_apply",
+                "name": self.name,
+                "deltas": [
+                    {
+                        "relation": delta.relation,
+                        "entries": [
+                            [list(row), weight]
+                            for row, weight in delta.entries.items()
+                        ],
+                    }
+                    for delta in deltas
+                ],
+            }
+        )
+        if statistics is not None:
+            for key, value in payload.get("counters", {}).items():
+                statistics[key] = statistics.get(key, 0) + value
+        return int(payload["rows"])
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """The view's current contents (one round-trip)."""
+        payload = self._request({"type": "view_rows", "name": self.name})
+        return [tuple(row) for row in payload["rows"]]
+
+    def table(self) -> Table:
+        """The view's current contents as a local period table."""
+        payload = self._request({"type": "view_rows", "name": self.name})
+        table = Table(self.name, tuple(payload["schema"]))
+        table.rows = [tuple(row) for row in payload["rows"]]
+        return table
+
+    def info(self) -> Dict[str, Any]:
+        """The server's full view descriptor (schema, staleness, counters)."""
+        return self._request({"type": "view_info", "name": self.name})
+
+    @property
+    def stale(self) -> bool:
+        return bool(self.info()["stale"])
+
+    @property
+    def base_relations(self) -> Tuple[str, ...]:
+        return tuple(self.info()["base_relations"])
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Lifetime ``incremental.*`` maintenance counters, server-side."""
+        return dict(self.info()["counters"])
+
+    def verify(self) -> bool:
+        """Server-side bag-equality check of the view vs. full re-execution."""
+        return bool(self._request({"type": "view_verify", "name": self.name})["ok"])
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+    def __repr__(self) -> str:
+        return f"RemoteView({self.name!r}, schema={list(self.schema)})"
 
 
 def _backend_name(backend: Optional[Any]) -> Optional[str]:

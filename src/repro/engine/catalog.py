@@ -8,7 +8,8 @@ to supply for each relation accessed inside a ``SEQ VT (...)`` block.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from collections import Counter
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .table import Table, TableError
 
@@ -25,6 +26,13 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._periods: Dict[str, Tuple[str, str]] = {}
         self._schema_version = 0
+        # DML observers: callables ``(table_name, {row: signed_count})``
+        # invoked after every insert/delete.  Materialized views
+        # (:mod:`repro.incremental`) subscribe here so row-level DML turns
+        # into Z-set deltas instead of invalidating anything; DDL
+        # (create/replace/drop) deliberately does NOT notify -- it bumps
+        # ``schema_version``, which views and plan caches key on.
+        self._observers: List[Callable[[str, Dict[Tuple[Any, ...], int]], None]] = []
 
     @property
     def schema_version(self) -> int:
@@ -33,8 +41,9 @@ class Database:
         Rewritten plans depend on table schemas and period metadata, so plan
         caches (:class:`repro.rewriter.pipeline.QueryPipeline`) key on this
         version to invalidate automatically when the catalog shape changes.
-        Row-level DML (:meth:`insert`) does not bump it -- rewriting never
-        looks at the data.
+        Row-level DML (:meth:`insert` / :meth:`delete`) does not bump it --
+        rewriting never looks at the data; registered DML observers turn
+        such mutations into incremental deltas instead.
         """
         return self._schema_version
 
@@ -73,8 +82,64 @@ class Database:
 
     # -- DML -----------------------------------------------------------------------------------
 
+    def add_dml_observer(
+        self, callback: Callable[[str, Dict[Tuple[Any, ...], int]], None]
+    ) -> None:
+        """Subscribe to insert/delete deltas (``(name, {row: +/-count})``)."""
+        self._observers.append(callback)
+
+    def remove_dml_observer(
+        self, callback: Callable[[str, Dict[Tuple[Any, ...], int]], None]
+    ) -> None:
+        if callback in self._observers:
+            self._observers.remove(callback)
+
+    def _notify_dml(self, name: str, delta: Dict[Tuple[Any, ...], int]) -> None:
+        if not delta:
+            return
+        for callback in list(self._observers):
+            callback(name, delta)
+
     def insert(self, name: str, rows: Iterable[Sequence]) -> None:
-        self.table(name).extend(rows)
+        table = self.table(name)
+        added = [tuple(row) for row in rows]
+        table.extend(added)
+        if self._observers and added:
+            self._notify_dml(name, dict(Counter(added)))
+
+    def delete(self, name: str, rows: Iterable[Sequence]) -> None:
+        """Remove one copy per given row (bag semantics).
+
+        Deleting a row the table does not hold enough copies of raises
+        :class:`TableError` before anything is removed.  Like
+        :meth:`insert` this is DML: the schema version is untouched, and
+        observers receive the rows with negative multiplicities.
+        """
+        table = self.table(name)
+        removing = Counter(tuple(row) for row in rows)
+        if not removing:
+            return
+        available = Counter(table.rows)
+        missing = sorted(
+            str(row) for row, count in removing.items() if available[row] < count
+        )
+        if missing:
+            raise TableError(
+                f"cannot delete from {name!r}: row(s) not present "
+                f"(or not often enough): {missing[:3]}"
+            )
+        budget = dict(removing)
+        kept = []
+        for row in table.rows:
+            if budget.get(row, 0) > 0:
+                budget[row] -= 1
+            else:
+                kept.append(row)
+        # Replace (not mutate) the row list so the memoised columnar
+        # transpose -- keyed on the list's identity -- invalidates.
+        table.rows = kept
+        if self._observers:
+            self._notify_dml(name, {row: -count for row, count in removing.items()})
 
     # -- lookup -----------------------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ Class hierarchy::
     |   |                                             set per instance, e.g. SQLITE_BUSY)
     |   +-- BackendUnavailableError       transient   host missing / closed / injected outage
     +-- ProtocolError                     permanent   malformed wire frame / message
+    +-- IncrementalError                  permanent   inconsistent view delta state
 
 The query-server wire protocol (:mod:`repro.server`, :mod:`repro.client`)
 maps onto the same taxonomy: error frames carry the class name of the
@@ -50,6 +51,7 @@ __all__ = [
     "PlanError",
     "BackendError",
     "BackendUnavailableError",
+    "IncrementalError",
     "ProtocolError",
     "QueryTimeoutError",
     "ResourceLimitError",
@@ -126,6 +128,17 @@ class ProtocolError(ReproError):
     bytes cannot help.  Transport-level failures (the peer vanished) are
     *not* protocol errors -- they map to
     :class:`BackendUnavailableError` so the retry machinery engages.
+    """
+
+
+class IncrementalError(ReproError):
+    """A materialized view's delta state became inconsistent (permanent).
+
+    Raised when applying a :class:`~repro.incremental.Delta` would drive a
+    base or view multiplicity negative -- deleting a row that is not there,
+    or feeding a detached delta stream that diverged from the catalog.  The
+    view state is left untouched; the caller must fix the stream (or call
+    :meth:`~repro.incremental.MaterializedView.refresh`).
     """
 
 

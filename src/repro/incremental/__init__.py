@@ -1,0 +1,27 @@
+"""Incremental view maintenance over snapshot-rewritten plans.
+
+Z-set deltas (the integer-semiring specialization of the abstract model's
+K-relations) propagate through the rewritten physical plans instead of
+re-executing them; see :mod:`repro.incremental.delta` for the delta
+currency and :mod:`repro.incremental.view` for the per-operator rules.
+
+The front doors are ``session.materialize(relation, name=...)`` and
+:meth:`repro.rewriter.pipeline.QueryPipeline.materialize`; catalog DML
+(:meth:`repro.engine.catalog.Database.insert` / ``delete``) feeds
+registered views automatically.
+"""
+
+from ..errors import IncrementalError
+from .delta import Delta, ZSet, add_into, expand_rows, zset_diff, zset_of
+from .view import MaterializedView
+
+__all__ = [
+    "Delta",
+    "IncrementalError",
+    "MaterializedView",
+    "ZSet",
+    "add_into",
+    "expand_rows",
+    "zset_diff",
+    "zset_of",
+]

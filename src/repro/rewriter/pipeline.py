@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 from ..algebra.operators import Operator
 from ..engine.catalog import Database
 from ..engine.executor import execute as engine_execute
+from ..errors import IncrementalError
 from ..engine.table import Table
 from ..execution import (
     ExecutionBackend,
@@ -128,6 +129,7 @@ class QueryPipeline:
         self._retries = 0
         self._timeouts = 0
         self._fallbacks = 0
+        self._views: "Dict[str, Any]" = {}
 
     # -- data loading -----------------------------------------------------------------
 
@@ -146,6 +148,56 @@ class QueryPipeline:
         """Register a logical-model relation under its PERIODENC encoding."""
         table = period_encode(relation, name)
         return self.database.register(table, period=(T_BEGIN, T_END))
+
+    # -- materialized views -----------------------------------------------------------
+
+    def materialize(
+        self,
+        query: Operator,
+        name: str,
+        final_coalesce: bool = False,
+    ) -> "Any":
+        """Register ``query`` as an incrementally maintained view.
+
+        The rewritten/optimized plan is evaluated once, its result
+        registered as catalog table ``name`` (DDL: this bumps the schema
+        version and so invalidates cached plans -- views invalidate like
+        plan-cache entries), and the view subscribes to catalog DML so
+        subsequent :meth:`~repro.engine.catalog.Database.insert` /
+        ``delete`` propagate as Z-set deltas instead of re-executing.
+        Returns the :class:`~repro.incremental.MaterializedView`.
+        """
+        from ..incremental.view import MaterializedView
+
+        if name in self._views:
+            raise IncrementalError(f"a view named {name!r} is already registered")
+        if name in self.database:
+            raise IncrementalError(
+                f"cannot materialize as {name!r}: a catalog table of that "
+                "name already exists"
+            )
+        view = MaterializedView(name, query, self, final_coalesce=final_coalesce)
+        self._views[name] = view
+        self.database.add_dml_observer(view._observe_dml)
+        return view
+
+    def view(self, name: str) -> "Any":
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise IncrementalError(
+                f"unknown view {name!r}; registered views: {sorted(self._views)}"
+            ) from exc
+
+    def view_names(self) -> Tuple[str, ...]:
+        return tuple(self._views)
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view and drop its backing table (DDL)."""
+        view = self.view(name)
+        self.database.remove_dml_observer(view._observe_dml)
+        del self._views[name]
+        self.database.drop_table(name)
 
     # -- plan cache -------------------------------------------------------------------
 

@@ -72,6 +72,27 @@ _CHECK_OPTIONS = (
 )
 
 
+def _deltas_from_json(payload: Any) -> list:
+    """Decode the wire form of view deltas: ``[{relation, entries}, ...]``.
+
+    Each entry is a ``[row, weight]`` pair; rows come back as JSON arrays
+    and are restored to tuples (matching the plan codec's row fidelity).
+    """
+    from ..incremental import Delta
+
+    if not isinstance(payload, list):
+        raise ProtocolError("view_apply deltas must be a list")
+    deltas = []
+    for item in payload:
+        if not isinstance(item, dict) or "relation" not in item:
+            raise ProtocolError(f"malformed delta payload: {item!r}")
+        entries = [
+            (tuple(row), int(weight)) for row, weight in item.get("entries", ())
+        ]
+        deltas.append(Delta(item["relation"], entries))
+    return deltas
+
+
 @dataclass
 class _ActiveQuery:
     """Event-loop-side handle on one in-flight request."""
@@ -330,6 +351,7 @@ class QueryServer:
             "planner": pipeline.optimize,
             "coalesce": pipeline.coalesce,
             "executor": pipeline.executor,
+            "views": list(pipeline.view_names()),
             "max_frame_bytes": self.max_frame_bytes,
         }
 
@@ -452,8 +474,10 @@ class QueryServer:
         kind = frame.get("type")
         request_id = frame.get("id")
         try:
-            if kind in ("explain", "check"):
-                # Both execute queries; keep the event loop responsive.
+            if kind in ("explain", "check", "materialize", "view_apply",
+                        "view_verify", "insert", "delete"):
+                # These execute queries or propagate deltas through plans;
+                # keep the event loop responsive.
                 payload = await asyncio.get_running_loop().run_in_executor(
                     self._executor, functools.partial(self._run_simple, frame)
                 )
@@ -502,6 +526,56 @@ class QueryServer:
             return {"text": self._session.explain_relation(relation)}
         if kind == "check":
             return {"report": self._run_check(frame)}
+        if kind == "insert":
+            pipeline.database.insert(
+                frame["name"], [tuple(row) for row in frame["rows"]]
+            )
+            return {}
+        if kind == "delete":
+            pipeline.database.delete(
+                frame["name"], [tuple(row) for row in frame["rows"]]
+            )
+            return {}
+        if kind == "materialize":
+            view = pipeline.materialize(
+                plan_from_json(frame["plan"]),
+                frame["name"],
+                final_coalesce=bool(frame.get("final_coalesce", False)),
+            )
+            return {
+                "name": view.name,
+                "schema": list(view.schema),
+                "rows": len(view),
+                "base_relations": sorted(view.base_relations),
+            }
+        if kind == "view_apply":
+            view = pipeline.view(frame["name"])
+            statistics: Dict[str, int] = {}
+            view.apply(_deltas_from_json(frame["deltas"]), statistics)
+            return {"rows": len(view), "counters": statistics}
+        if kind == "view_rows":
+            view = pipeline.view(frame["name"])
+            return {
+                "schema": list(view.schema),
+                "rows": [list(row) for row in view.rows()],
+            }
+        if kind == "view_info":
+            if "name" not in frame:
+                return {"views": list(pipeline.view_names())}
+            view = pipeline.view(frame["name"])
+            return {
+                "name": view.name,
+                "schema": list(view.schema),
+                "rows": len(view),
+                "stale": view.stale,
+                "base_relations": sorted(view.base_relations),
+                "counters": dict(view.counters),
+            }
+        if kind == "view_verify":
+            return {"ok": pipeline.view(frame["name"]).verify()}
+        if kind == "drop_view":
+            pipeline.drop_view(frame["name"])
+            return {}
         raise ProtocolError(f"unknown message type {kind!r}")
 
     def _run_check(self, frame: Dict[str, Any]) -> Dict[str, Any]:

@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..errors import (
     BackendError,
     BackendUnavailableError,
+    IncrementalError,
     ParseError,
     PlanError,
     ProtocolError,
@@ -144,6 +145,7 @@ _ERROR_CLASSES: Tuple[type, ...] = (
     ResourceLimitError,
     ProtocolError,
     ParseError,
+    IncrementalError,
     PlanError,
     BackendError,
 )

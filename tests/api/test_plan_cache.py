@@ -122,6 +122,43 @@ class TestInvalidation:
         onduty(session).rows(statistics)
         assert statistics["plan_cache.misses"] == 1
 
+    def test_materialize_is_ddl_and_bumps_schema_version(self, session):
+        # Registering a view creates its backing table: DDL, exactly like
+        # load().  Plans cached before the view existed must not be reused
+        # (they could now shadow or miss the new catalog entry).
+        onduty(session).rows()
+        before = session.database.schema_version
+        session.materialize(onduty(session), name="onduty_view")
+        assert session.database.schema_version > before
+        statistics: dict = {}
+        onduty(session).rows(statistics)
+        assert statistics["plan_cache.misses"] == 1
+        assert "plan_cache.hits" not in statistics
+
+    def test_view_apply_is_dml_and_does_not_invalidate(self, session):
+        from repro import Delta
+
+        view = session.materialize(onduty(session), name="onduty_view")
+        onduty(session).rows()
+        before = session.database.schema_version
+        view.apply([Delta.inserts("works", [("Zoe", "SP", 0, 2)])])
+        assert session.database.schema_version == before
+        statistics: dict = {}
+        onduty(session).rows(statistics)
+        assert statistics["plan_cache.hits"] == 1
+
+    def test_catalog_dml_feeding_a_view_does_not_invalidate(self, session):
+        view = session.materialize(onduty(session), name="onduty_view")
+        onduty(session).rows()
+        before = session.database.schema_version
+        session.insert("works", [("Zoe", "SP", 0, 2)])
+        session.delete("works", [("Zoe", "SP", 0, 2)])
+        assert session.database.schema_version == before
+        assert view.verify()  # the view tracked both mutations ...
+        statistics: dict = {}
+        onduty(session).rows(statistics)
+        assert statistics["plan_cache.hits"] == 1  # ... without invalidating
+
 
 class TestCacheScope:
     def test_cache_disabled(self):

@@ -1,0 +1,229 @@
+"""Unit tests for :mod:`repro.incremental`: views, deltas, Z-set plumbing.
+
+Tier-1 coverage of the materialized-view surface -- registration, catalog
+DML propagation, detached delta application, staleness on DDL, the error
+contract, and the lifetime counters -- on small deterministic catalogs.
+The randomized depth lives in ``test_delta_differential.py`` (marked
+``incremental``); these tests pin the behaviours one at a time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import Delta, IncrementalError, MaterializedView, connect
+from repro.incremental import add_into, expand_rows, zset_diff, zset_of
+
+
+ROWS_R = [
+    ("a", 1, 0, 10),
+    ("b", 2, 5, 20),
+    ("a", 3, 10, 30),
+    ("b", 2, 5, 20),  # duplicate: bag semantics
+]
+
+
+@pytest.fixture
+def session():
+    with connect(domain=(0, 48)) as session:
+        session.load("R", ["k", "v"], ROWS_R)
+        session.load("S", ["k2", "w"], [("a", 10, 0, 40), ("c", 20, 0, 40)])
+        yield session
+
+
+# -- Z-set primitives --------------------------------------------------------------------
+
+
+class TestZSets:
+    def test_zset_of_counts_duplicates(self):
+        assert zset_of([(1,), (2,), (1,)]) == {(1,): 2, (2,): 1}
+
+    def test_expand_rows_inverts_zset_of(self):
+        rows = [(1,), (2,), (1,)]
+        assert Counter(expand_rows(zset_of(rows))) == Counter(rows)
+
+    def test_expand_rows_rejects_negative_multiplicity(self):
+        with pytest.raises(IncrementalError):
+            expand_rows({(1,): -1})
+
+    def test_add_into_consolidates_and_counts_cancellations(self):
+        target = {(1,): 2, (2,): 1}
+        cancelled = add_into(target, {(1,): -2, (3,): 1})
+        assert target == {(2,): 1, (3,): 1}
+        assert cancelled == 1  # the (1,) entry hit exactly zero
+
+    def test_add_into_nonnegative_guard_leaves_target_untouched(self):
+        target = {(1,): 1}
+        with pytest.raises(IncrementalError):
+            add_into(target, {(1,): -2}, require_nonnegative=True)
+        assert target == {(1,): 1}
+
+    def test_zset_diff(self):
+        assert zset_diff({(1,): 2, (2,): 1}, {(1,): 1, (3,): 4}) == {
+            (1,): 1,
+            (2,): 1,
+            (3,): -4,
+        }
+
+    def test_delta_constructors(self):
+        delta = Delta.inserts("R", [(1,), (1,)])
+        assert delta.entries == {(1,): 2} and delta.weight() == 2
+        delta = Delta.deletes("R", [(1,)])
+        assert delta.entries == {(1,): -1} and delta.weight() == -1
+        assert not Delta("R", {})
+        assert len(Delta("R", {(1,): 1, (2,): -1})) == 2
+
+
+# -- registration and basic maintenance --------------------------------------------------
+
+
+class TestMaterialize:
+    def test_view_contents_match_direct_execution(self, session):
+        relation = session.table("R").where("v >= 2")
+        view = session.materialize(relation, name="big")
+        assert isinstance(view, MaterializedView)
+        assert Counter(view.rows()) == Counter(relation.table().rows)
+        assert view.counters["incremental.full_refresh"] == 1
+
+    def test_view_is_queryable_as_a_table(self, session):
+        session.materialize(session.table("R").where("v >= 2"), name="big")
+        assert "big" in session.database
+        assert Counter(session.table("big").table().rows) == Counter(
+            session.view("big").rows()
+        )
+
+    def test_catalog_insert_updates_view_without_refresh(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        session.insert("R", [("c", 9, 0, 5), ("c", 1, 0, 5)])
+        assert view.verify()
+        assert ("c", 9, 0, 5) in view.rows()
+        assert ("c", 1, 0, 5) not in view.rows()
+        assert view.counters["incremental.full_refresh"] == 1  # still the build
+
+    def test_catalog_delete_updates_view(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        session.delete("R", [("b", 2, 5, 20)])
+        assert view.verify()
+        assert Counter(view.rows())[("b", 2, 5, 20)] == 1  # one of two copies left
+
+    def test_detached_apply_returns_and_diverges(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        statistics = {}
+        view.apply([Delta.inserts("R", [("z", 5, 1, 2)])], statistics=statistics)
+        assert ("z", 5, 1, 2) in view.rows()
+        assert statistics["incremental.delta_rows"] == 1
+        # The catalog never saw the delta: full re-execution now disagrees.
+        assert not view.verify()
+
+    def test_grouped_aggregate_view_resweeps_only_dirty_groups(self, session):
+        view = session.materialize(
+            session.table("R").group_by("k").agg(total="sum(v)"), name="totals"
+        )
+        before = view.counters["incremental.resweep_groups"]
+        session.insert("R", [("a", 7, 2, 4)])
+        assert view.verify()
+        touched = view.counters["incremental.resweep_groups"] - before
+        assert touched >= 1  # group "a" was re-swept ...
+        session.insert("R", [("b", 1, 2, 4)])
+        assert view.verify()
+
+    def test_join_view_tracks_both_sides(self, session):
+        relation = session.table("R").join(session.table("S"), "k = k2")
+        view = session.materialize(relation, name="joined")
+        session.insert("R", [("c", 9, 0, 30)])
+        assert view.verify()
+        session.insert("S", [("b", 40, 0, 30)])
+        assert view.verify()
+        session.delete("S", [("a", 10, 0, 40)])
+        assert view.verify()
+
+    def test_multiple_views_do_not_invalidate_each_other(self, session):
+        view_r = session.materialize(session.table("R").where("v >= 2"), name="vr")
+        view_s = session.materialize(session.table("S").where("w >= 10"), name="vs")
+        session.insert("R", [("c", 9, 0, 5)])
+        session.insert("S", [("c", 30, 0, 5)])
+        assert view_r.verify() and view_s.verify()
+        assert view_r.counters["incremental.full_refresh"] == 1
+        assert view_s.counters["incremental.full_refresh"] == 1
+
+
+class TestStaleness:
+    def test_ddl_reload_marks_stale_and_refreshes(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        assert not view.stale
+        session.load("R", ["k", "v"], [("x", 5, 0, 10)])  # wholesale replacement
+        assert view.stale
+        session.insert("R", [("y", 7, 0, 10)])  # next delta triggers the refresh
+        assert not view.stale
+        assert view.verify()
+        assert view.counters["incremental.full_refresh"] == 2
+        assert Counter(view.rows()) == Counter(
+            [("x", 5, 0, 10), ("y", 7, 0, 10)]
+        )
+
+    def test_ddl_on_unrelated_table_does_not_refresh(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        session.load("S", ["k2", "w"], [("z", 1, 0, 4)])
+        assert not view.stale
+
+
+class TestErrors:
+    def test_duplicate_view_name_rejected(self, session):
+        session.materialize(session.table("R"), name="dup")
+        with pytest.raises(IncrementalError):
+            session.materialize(session.table("R"), name="dup")
+
+    def test_view_name_clashing_with_table_rejected(self, session):
+        with pytest.raises(IncrementalError):
+            session.materialize(session.table("R"), name="S")
+
+    def test_unknown_view_lookup(self, session):
+        with pytest.raises(IncrementalError):
+            session.view("nope")
+
+    def test_delta_for_unread_relation_rejected(self, session):
+        view = session.materialize(session.table("R"), name="only_r")
+        with pytest.raises(IncrementalError):
+            view.apply([Delta.inserts("S", [("q", 1, 0, 1)])])
+
+    def test_bag_delete_beyond_multiplicity_rejected(self, session):
+        view = session.materialize(session.table("R"), name="v")
+        with pytest.raises(IncrementalError):
+            view.apply([Delta("R", {("a", 1, 0, 10): -5})])
+
+
+class TestLifecycle:
+    def test_views_listing_and_drop(self, session):
+        session.materialize(session.table("R"), name="one")
+        session.materialize(session.table("S"), name="two")
+        assert sorted(session.views()) == ["one", "two"]
+        session.drop_view("one")
+        assert sorted(session.views()) == ["two"]
+        assert "one" not in session.database
+        # A dropped view stops observing DML (no error, no zombie updates).
+        session.insert("R", [("q", 1, 0, 1)])
+        assert session.view("two").verify()
+
+    def test_explain_lists_counters(self, session):
+        view = session.materialize(session.table("R").where("v >= 2"), name="big")
+        session.insert("R", [("c", 9, 0, 5)])
+        text = view.explain()
+        assert "incremental.delta_rows" in text
+        assert "incremental.full_refresh = 1" in text
+
+
+class TestExecutorMatrix:
+    @pytest.mark.parametrize("executor", ["row", "batch"])
+    @pytest.mark.parametrize("planner", [True, False])
+    def test_aggregate_view_under_all_configs(self, executor, planner):
+        with connect(domain=(0, 48), executor=executor, planner=planner) as session:
+            session.load("R", ["k", "v"], ROWS_R)
+            view = session.materialize(
+                session.table("R").group_by("k").agg(cnt="count(*)"), name="counts"
+            )
+            session.insert("R", [("c", 4, 3, 9), ("a", 4, 3, 9)])
+            assert view.verify()
+            session.delete("R", [("b", 2, 5, 20)])
+            assert view.verify()

@@ -73,6 +73,10 @@ EXPECTED_REPRO_EXPORTS = {
     "ExecutionPolicy",
     "FaultSchedule",
     "FaultInjectingBackend",
+    # incremental view maintenance
+    "IncrementalError",
+    "Delta",
+    "MaterializedView",
     # conformance
     "ConformanceError",
     "ConformanceReport",
@@ -127,6 +131,7 @@ class TestPublicSurface:
             "repro.api",
             "repro.server",
             "repro.client",
+            "repro.incremental",
             "repro.baselines",
             "repro.conformance",
             "repro.datasets",
