@@ -33,6 +33,11 @@ track across PRs and appends the timings to a JSON ledger:
   recomputing the view from scratch; the ledger records the per-batch
   apply time, the full-refresh time, and their ratio (the PR 9 acceptance
   floor is >= 5x at 32k rows);
+* **planner cost** -- cost-based vs. syntactic planning on a skewed
+  three-way join written worst-order-first: the cost mode (ANALYZE
+  statistics + smallest-intermediate-first join reordering, PR 10) must
+  return the identical bag and beat the syntactic planner by at least
+  1.5x, so the recorded entry doubles as the PR 10 acceptance gate;
 * **server load** -- a concurrent load generator against the asyncio query
   server (:class:`repro.server.QueryServer`): N thread-per-client
   :class:`~repro.client.RemoteSession` connections run the same grouped
@@ -85,7 +90,9 @@ import traceback
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.algebra import Comparison, Join, RelationAccess, and_, attr
+from collections import Counter
+
+from repro.algebra import Comparison, Join, RelationAccess, and_, attr, lit
 from repro.algebra.operators import AggregateSpec, Aggregation, Projection
 from repro.api import connect
 from repro.backends import SQLiteBackend
@@ -125,6 +132,17 @@ SERVER_ROWS = 400
 #: Base-row counts and churn fraction of the view-maintenance workload.
 VIEW_SIZES: Sequence[int] = (2_000, 8_000, 32_000)
 VIEW_CHURN = 0.01
+#: Fact rows and join-key cardinality of the planner-cost workload.  Few
+#: keys over many rows make the as-written (fact JOIN big) intermediate
+#: explode quadratically, which is exactly the shape the cost-based
+#: reordering exists to avoid; 2k fact rows keep the syntactic leg in the
+#: hundreds of milliseconds while leaving the gap wide.
+PLANNER_COST_ROWS = 2_000
+PLANNER_COST_KEYS = 10
+#: Acceptance floor of the PR 10 cost-planner gate (see ISSUE.md): the
+#: workload raises -- failing the run -- if cost-mode planning does not
+#: beat the syntactic planner by at least this factor.
+PLANNER_COST_FLOOR = 1.5
 
 
 def time_figure5(
@@ -638,6 +656,102 @@ def time_server_load(
     }
 
 
+def time_planner_cost(
+    rows: int, repetitions: int, seed: Optional[int]
+) -> Dict[str, object]:
+    """Syntactic vs. cost-based planning on a skewed three-way join.
+
+    The query is written worst-first: ``(fact JOIN big ON fk = bk) JOIN dim
+    ON fk = dk AND dval = 0``.  With only :data:`PLANNER_COST_KEYS` distinct
+    keys the as-written left-deep order materialises the full
+    ``rows * rows/2 / keys`` fact-big intermediate before the selective dim
+    predicate prunes it; the cost planner (over ANALYZE statistics) joins
+    the one-row dim slice first and never builds it.  Both legs run through
+    the full snapshot pipeline (REWR + coalescing included) and must return
+    the same bag; the workload raises if the cost leg does not beat the
+    syntactic leg by :data:`PLANNER_COST_FLOOR`, making the recorded ledger
+    double as the PR 10 acceptance gate.
+    """
+    offset = 0 if seed is None else seed
+
+    def build(planner: object):
+        session = connect((0, 128), planner=planner)
+        session.load(
+            "fact",
+            ["fk", "fval"],
+            [
+                ("k%d" % ((i + offset) % PLANNER_COST_KEYS), i, 0, 100)
+                for i in range(rows)
+            ],
+        )
+        session.load(
+            "big",
+            ["bk", "bval"],
+            [
+                ("k%d" % ((i + offset) % PLANNER_COST_KEYS), i, 0, 100)
+                for i in range(rows // 2)
+            ],
+        )
+        session.load(
+            "dim",
+            ["dk", "dval"],
+            [("k%d" % k, k, 0, 100) for k in range(PLANNER_COST_KEYS)],
+        )
+        return session
+
+    query = Join(
+        Join(
+            RelationAccess("fact"),
+            RelationAccess("big"),
+            Comparison("=", attr("fk"), attr("bk")),
+        ),
+        RelationAccess("dim"),
+        and_(
+            Comparison("=", attr("fk"), attr("dk")),
+            Comparison("=", attr("dval"), lit(0)),
+        ),
+    )
+
+    syntactic = build(True)
+    cost = build("cost")
+    cost.analyze()
+
+    baseline_rows = syntactic.execute(query).rows
+    statistics: Dict[str, int] = {}
+    cost_rows = cost.execute(query, statistics).rows
+    if Counter(cost_rows) != Counter(baseline_rows):
+        raise RuntimeError(
+            "planner_cost: cost-mode plan changed the result bag "
+            f"({len(cost_rows)} rows vs {len(baseline_rows)})"
+        )
+    if not statistics.get("planner.cost_join_reorders"):
+        raise RuntimeError(
+            "planner_cost: the cost planner never reordered the join "
+            f"(planner counters: {sorted(statistics)})"
+        )
+
+    syntactic_seconds = _best_of(lambda: syntactic.execute(query), repetitions)
+    cost_seconds = _best_of(lambda: cost.execute(query), repetitions)
+    speedup = (
+        round(syntactic_seconds / cost_seconds, 2) if cost_seconds > 0 else None
+    )
+    if speedup is None or speedup < PLANNER_COST_FLOOR:
+        raise RuntimeError(
+            f"planner_cost: cost-planner speedup {speedup}x is below the "
+            f"{PLANNER_COST_FLOOR}x acceptance floor "
+            f"(syntactic {syntactic_seconds:.4f}s, cost {cost_seconds:.4f}s)"
+        )
+    return {
+        "rows": rows,
+        "keys": PLANNER_COST_KEYS,
+        "output_rows": len(baseline_rows),
+        "syntactic_seconds": syntactic_seconds,
+        "cost_seconds": cost_seconds,
+        "cost_speedup": speedup,
+        "join_reorders": statistics.get("planner.cost_join_reorders"),
+    }
+
+
 def _run_with_time_limit(
     name: str, workload: Callable[[], object], limit: Optional[float]
 ) -> Tuple[object, Optional[str], bool]:
@@ -742,6 +856,11 @@ def _speedups(ledger: Dict[str, Dict]) -> Dict[str, object]:
     }
     if summary_views:
         summary["view_maintenance_apply"] = summary_views
+    # The planner-cost workload only exists from PR 10 on.
+    base_planner = base.get("planner_cost", {}).get("cost_seconds")
+    new_planner = new.get("planner_cost", {}).get("cost_seconds")
+    if base_planner is not None and new_planner:
+        summary["planner_cost"] = round(base_planner / new_planner, 2)
     return _batch_columns(new, summary)
 
 
@@ -772,6 +891,9 @@ def _batch_columns(new: Dict, summary: Dict[str, object]) -> Dict[str, object]:
     }
     if view_speedups:
         summary["view_maintenance_incremental_vs_refresh"] = view_speedups
+    planner_speedup = new.get("planner_cost", {}).get("cost_speedup")
+    if planner_speedup is not None:
+        summary["planner_cost_vs_syntactic"] = planner_speedup
     return summary
 
 
@@ -780,7 +902,7 @@ def main() -> int:
     parser.add_argument("--label", required=True, help="ledger key, e.g. seed or pr1")
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr9.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr10.json"),
     )
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -810,6 +932,12 @@ def main() -> int:
     parser.add_argument("--server-rows", type=int, default=SERVER_ROWS)
     parser.add_argument(
         "--view-sizes", type=int, nargs="+", default=list(VIEW_SIZES)
+    )
+    parser.add_argument(
+        "--planner-cost-rows",
+        type=int,
+        default=PLANNER_COST_ROWS,
+        help="Fact-table rows of the planner-cost workload.",
     )
     parser.add_argument(
         "--view-churn",
@@ -873,6 +1001,9 @@ def main() -> int:
         ),
         "view_maintenance": lambda: time_view_maintenance(
             args.view_sizes, args.view_churn, args.repetitions, args.seed
+        ),
+        "planner_cost": lambda: time_planner_cost(
+            args.planner_cost_rows, args.repetitions, args.seed
         ),
     }
     if args.workloads:

@@ -18,7 +18,7 @@ rename, constant relations) that the rewriting rules of Fig. 4 need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from ..errors import PlanError
 from .expressions import Attribute, Expression
@@ -86,7 +86,9 @@ class Operator:
         """
         return repr(self)
 
-    def explain_tree(self) -> str:
+    def explain_tree(
+        self, annotations: Optional[Mapping[int, str]] = None
+    ) -> str:
         """A stable multi-line tree rendering of the whole plan.
 
         One node per line, children connected with box-drawing guides::
@@ -95,18 +97,30 @@ class Operator:
             └─ Selection((skill = 'SP'))
                └─ Relation(works)
 
+        ``annotations`` optionally maps ``id(node)`` to a suffix appended
+        after that node's label (the cost planner's ``[strategy=... est=...
+        act=...]`` readouts); the one-line-per-node shape is preserved.
         Every evaluator-facing rendering (``SnapshotMiddleware.explain``,
         the fluent API's ``TemporalRelation.explain``) builds on this; the
         output is pinned by tests, so treat changes as API changes.
         """
-        lines: list[str] = [self.explain_label()]
+
+        def label(node: "Operator") -> str:
+            text = node.explain_label()
+            if annotations:
+                suffix = annotations.get(id(node))
+                if suffix:
+                    text = f"{text} {suffix}"
+            return text
+
+        lines: list[str] = [label(self)]
 
         def render(node: "Operator", prefix: str) -> None:
             children = node.children()
             for position, child in enumerate(children):
                 last = position == len(children) - 1
                 connector = "└─ " if last else "├─ "
-                lines.append(prefix + connector + child.explain_label())
+                lines.append(prefix + connector + label(child))
                 render(child, prefix + ("   " if last else "│  "))
 
         render(self, "")
@@ -275,20 +289,27 @@ class Join(Operator):
 
     The schemas of the two inputs must be disjoint (use :class:`Rename` to
     disambiguate); ``predicate`` may be ``None`` for a cross product.
+    ``strategy`` is an optional physical hint stamped by the cost planner
+    (``"interval"``, ``"hash"`` or ``"nested_loop"``); executors obey it
+    when set and fall back to their own predicate analysis when ``None``.
+    All strategies produce the same bag, so the hint never changes results.
     """
 
     left: Operator
     right: Operator
     predicate: Optional[Expression] = None
+    strategy: Optional[str] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.left, self.right)
 
     def with_children(self, left: Operator, right: Operator) -> "Join":
-        return Join(left, right, self.predicate)
+        return Join(left, right, self.predicate, self.strategy)
 
     def __repr__(self) -> str:
-        return f"Join({self.predicate!r})"
+        if self.strategy is None:
+            return f"Join({self.predicate!r})"
+        return f"Join({self.predicate!r}, strategy={self.strategy})"
 
 
 @dataclass(frozen=True)

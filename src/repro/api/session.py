@@ -50,7 +50,11 @@ from ..engine.table import Table
 from ..errors import BackendUnavailableError
 from ..execution import ExecutionBackend, ExecutionPolicy
 from ..logical_model.period_relation import PeriodKRelation
-from ..planner import optimize as planner_optimize
+from ..planner import (
+    estimate_plan,
+    optimize as planner_optimize,
+    reorder_joins,
+)
 from ..rewriter.middleware import SnapshotMiddleware
 from ..rewriter.periodenc import T_BEGIN, T_END
 from ..rewriter.pipeline import ExecutionInfo, PlanCacheInfo, QueryPipeline
@@ -136,6 +140,9 @@ class SessionProtocol(Protocol):
     def materialize(self, relation: TemporalRelation, name: str) -> Any:
         ...
 
+    def analyze(self, table: Optional[str] = None) -> Dict[str, Any]:
+        ...
+
     def explain_relation(self, relation: TemporalRelation) -> str:
         ...
 
@@ -172,7 +179,7 @@ def _dsn_bool(name: str, text: str) -> bool:
 def connect(
     target: "Union[str, TimeDomain, Tuple[int, int], int, None]" = None,
     backend: "str | ExecutionBackend | None" = "memory",
-    planner: bool = True,
+    planner: "bool | str" = True,
     coalesce: str = "final",
     use_temporal_aggregate: bool = True,
     database: Optional[Database] = None,
@@ -204,7 +211,9 @@ def connect(
 
     The time domain of a local session comes from the DSN's ``domain=lo:hi``
     query parameter or the ``domain=`` keyword (DSN wins); other recognised
-    DSN parameters -- ``planner=on|off``, ``coalesce=final|none|...``,
+    DSN parameters -- ``planner=on|off|syntactic|cost`` (``cost`` enables
+    the statistics-driven planner of :mod:`repro.planner.cost`),
+    ``coalesce=final|none|...``,
     ``plan_cache=on|off``, ``executor=row|batch``, and on ``memory://``
     also ``backend=name`` and ``parallel_workers=n`` -- likewise override
     their keyword counterparts.
@@ -249,7 +258,12 @@ def connect(
     if "domain" in params:
         domain = _parse_dsn_domain(params.pop("domain"))
     if "planner" in params:
-        planner = _dsn_bool("planner", params.pop("planner"))
+        raw = params.pop("planner")
+        lowered = raw.lower()
+        if lowered in ("syntactic", "cost"):
+            planner = lowered
+        else:
+            planner = _dsn_bool("planner", raw)
     if "plan_cache" in params:
         plan_cache = _dsn_bool("plan_cache", params.pop("plan_cache"))
     if "coalesce" in params:
@@ -322,7 +336,7 @@ def connect(
 def _connect_local(
     domain: "Union[TimeDomain, Tuple[int, int], int]",
     backend: "str | ExecutionBackend | None",
-    planner: bool,
+    planner: "bool | str",
     coalesce: str,
     use_temporal_aggregate: bool,
     database: Optional[Database],
@@ -408,11 +422,11 @@ class Session:
         return self._pipeline
 
     @property
-    def planner(self) -> bool:
+    def planner(self) -> "bool | str":
         return self._pipeline.optimize
 
     @planner.setter
-    def planner(self, value: bool) -> None:
+    def planner(self, value: "bool | str") -> None:
         self._pipeline.optimize = value
 
     @property
@@ -590,6 +604,24 @@ class Session:
         self._ensure_open()
         self.database.delete(name, rows)
 
+    # -- statistics -------------------------------------------------------------------
+
+    def analyze(self, table: Optional[str] = None) -> Dict[str, Any]:
+        """Collect interval statistics for ``table`` (or every catalog table).
+
+        The ANALYZE step of the cost-based planner: builds a
+        :class:`~repro.stats.TableStatistics` per table (row count, per-column
+        distinct counts, endpoint histograms, interval-length quantiles and
+        overlap density), stores it in the catalog and returns the mapping
+        ``{table_name: TableStatistics}``.  Statistics on a table are dropped
+        automatically when DML touches it; re-run ``analyze`` to refresh.
+        Sessions with ``planner="cost"`` use them for join reordering,
+        strategy selection and the batch executor's parallel threshold;
+        other planner modes ignore them.
+        """
+        self._ensure_open()
+        return self.database.analyze(table)
+
     # -- plan cache -------------------------------------------------------------------
 
     def cache_info(self) -> PlanCacheInfo:
@@ -606,18 +638,26 @@ class Session:
         self._ensure_open()
         query = relation.plan
         final_coalesce = relation._final_coalesce
+        mode = self._pipeline.planner_mode
         sections = ["logical plan:", _indent(query.explain_tree())]
 
         # Stage views (bypassing the cache so both stages are visible).
-        rewritten = self._pipeline.rewriter.rewrite(query)
         planner_statistics: Dict[str, int] = {}
+        staged = query
+        if mode == "cost":
+            staged = reorder_joins(
+                staged, self.database, planner_statistics, snapshot=True
+            )
+        rewritten = self._pipeline.rewriter.rewrite(staged)
         if final_coalesce:
             from ..rewriter.operators import CoalesceOperator
 
             rewritten = CoalesceOperator(rewritten)
         sections += ["", "REWR plan:", _indent(rewritten.explain_tree())]
-        if self._pipeline.optimize:
-            optimized = planner_optimize(rewritten, self.database, planner_statistics)
+        if mode != "off":
+            optimized = planner_optimize(
+                rewritten, self.database, planner_statistics, mode=mode
+            )
             sections += [
                 "",
                 "optimized plan (planner on):",
@@ -637,11 +677,15 @@ class Session:
         else:
             sections += ["", "planner: off"]
 
-        # One observed execution for the executor's strategy counters (this
-        # goes through the cache, warming it as a side effect).
+        # One observed execution for the executor's strategy counters and the
+        # per-node row counts (this goes through the cache, warming it as a
+        # side effect).  Rewriting first keeps one plan object whose node
+        # identities line up with the recorded observations.
         execution_statistics: Dict[str, int] = {}
-        self._pipeline.execute(
-            query, execution_statistics, final_coalesce=final_coalesce
+        observations: Dict[int, Dict[str, Any]] = {}
+        executed = self._pipeline.rewrite(query, execution_statistics, final_coalesce)
+        self._pipeline.execute_rewritten(
+            executed, execution_statistics, observations=observations
         )
         strategies = {
             key: value
@@ -672,6 +716,32 @@ class Session:
             }
             sections += [
                 f"  {key} = {value}" for key, value in partition_counters.items()
+            ]
+        if observations:
+            # Estimated vs observed cardinalities per node (the cost model's
+            # report card): joins additionally show the physical strategy the
+            # executor actually chose.  SQL backends run the plan wholesale
+            # and record nothing, so the section only appears for the
+            # in-memory engine.
+            estimates = estimate_plan(executed, self.database)
+            annotations: Dict[int, str] = {}
+            for node_id in set(estimates) | set(observations):
+                parts = []
+                strategy = observations.get(node_id, {}).get("join_strategy")
+                if strategy is not None:
+                    parts.append(f"strategy={strategy}")
+                estimate = estimates.get(node_id)
+                if estimate is not None:
+                    parts.append(f"estimated_rows={int(round(estimate))}")
+                actual = observations.get(node_id, {}).get("actual_rows")
+                if actual is not None:
+                    parts.append(f"actual_rows={int(actual)}")
+                if parts:
+                    annotations[node_id] = "[" + " ".join(parts) + "]"
+            sections += [
+                "",
+                "executed plan:",
+                _indent(executed.explain_tree(annotations)),
             ]
         if self._pipeline.caching:
             if execution_statistics.get("plan_cache.hits"):

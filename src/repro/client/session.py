@@ -230,6 +230,22 @@ class RemoteSession:
             {"type": "delete", "name": name, "rows": [list(row) for row in rows]}
         )
 
+    def analyze(self, table: Optional[str] = None) -> Dict[str, Any]:
+        """Collect interval statistics server-side (ANALYZE over the wire).
+
+        Statistics are stored in the *server's* catalog -- where the shared
+        pipeline's cost planner reads them -- and returned here decoded into
+        :class:`~repro.stats.TableStatistics` for inspection.
+        """
+        from ..stats import TableStatistics
+
+        self._ensure_open()
+        payload = self._connection.request({"type": "analyze", "name": table})
+        return {
+            name: TableStatistics.from_dict(data)
+            for name, data in payload["statistics"].items()
+        }
+
     # -- execution --------------------------------------------------------------------
 
     def execute(
@@ -361,7 +377,8 @@ class RemoteSession:
             checks=payload["checks"],
             points=tuple(payload["points"]),
             configurations=tuple(
-                (backend, bool(optimize))
+                # Not bool()-coerced: a "cost" optimize mode must round-trip.
+                (backend, optimize)
                 for backend, optimize in payload["configurations"]
             ),
             counterexample=witness,

@@ -242,6 +242,10 @@ def _execute(
     result = _execute_node(plan, context, scans)
     if context._limited:
         context.checkpoint(result.weight())
+    if context.observations is not None:
+        context.observations.setdefault(id(plan), {})["actual_rows"] = (
+            result.weight()
+        )
     return result
 
 
@@ -288,7 +292,7 @@ def _execute_node(
     if isinstance(plan, Join):
         left = _execute(plan.left, context, scans)
         right = _execute(plan.right, context, scans)
-        return _join(left, right, plan.predicate, context)
+        return _join(left, right, plan.predicate, context, plan)
 
     if isinstance(plan, Union):
         left = _execute(plan.left, context, scans)
@@ -487,6 +491,7 @@ def _join(
     right: ColumnarBatch,
     predicate: Optional[Expression],
     context: ExecutionContext,
+    node: Optional[Join] = None,
 ) -> ColumnarBatch:
     overlap = set(left.schema) & set(right.schema)
     if overlap:
@@ -495,18 +500,29 @@ def _join(
         )
     schema = left.schema + right.schema
 
+    # Obey a cost-planner strategy hint exactly like the row executor:
+    # skipped pattern parts stay in the residual / full predicate, so the
+    # output bag is identical for every strategy.
+    hint = node.strategy if node is not None else None
     equi_keys, residual_conjuncts = _split_join_predicate(predicate, left, right)
     interval = None
-    if context.interval_join:
+    if context.interval_join and hint in (None, "interval"):
         interval, residual_conjuncts = _extract_interval_pattern(
             residual_conjuncts, left, right
         )
     residual = _combine_residual(residual_conjuncts)
+    if hint == "nested_loop":
+        interval = None
+        equi_keys = []
+    elif hint == "hash":
+        interval = None
 
     left_rows = left.expanded_rows()
     right_rows = right.expanded_rows()
     out: List[Row] = []
+    chosen = "nested_loop"
     if interval is not None:
+        chosen = "interval"
         context.count("interval_joins")
         context.count("join_strategy.interval")
         _interval_join(
@@ -522,6 +538,7 @@ def _join(
             context,
         )
     elif equi_keys:
+        chosen = "hash"
         context.count("hash_joins")
         context.count("join_strategy.hash")
         _hash_join(left_rows, right_rows, schema, equi_keys, residual, out, context)
@@ -529,6 +546,8 @@ def _join(
         context.count("nested_loop_joins")
         context.count("join_strategy.nested_loop")
         _nested_loop_join(left_rows, right_rows, schema, predicate, out, context)
+    if context.observations is not None and node is not None:
+        context.observations.setdefault(id(node), {})["join_strategy"] = chosen
     return ColumnarBatch.from_rows("join", schema, out)
 
 

@@ -9,9 +9,23 @@ to supply for each relation accessed inside a ``SEQ VT (...)`` block.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .table import Table, TableError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats uses Table)
+    from ..stats import TableStatistics
 
 __all__ = ["Database", "DEFAULT_PERIOD"]
 
@@ -33,6 +47,15 @@ class Database:
         # (create/replace/drop) deliberately does NOT notify -- it bumps
         # ``schema_version``, which views and plan caches key on.
         self._observers: List[Callable[[str, Dict[Tuple[Any, ...], int]], None]] = []
+        # ANALYZE output (repro.stats).  ``_stats_epoch`` counts every
+        # change to the stored statistics; cost-based plan caches key on it
+        # the way syntactic caches key on ``schema_version``.  The DML
+        # observer that drops stale statistics is registered lazily on the
+        # first ``analyze()`` so stats-free catalogs keep the fast
+        # no-observer insert path.
+        self._statistics: Dict[str, "TableStatistics"] = {}
+        self._stats_epoch = 0
+        self._stats_observer_active = False
 
     @property
     def schema_version(self) -> int:
@@ -69,6 +92,7 @@ class Database:
             self._periods.pop(name, None)
         self._tables[name] = table
         self._schema_version += 1
+        self._drop_statistics(name)
         return table
 
     def register(self, table: Table, period: Optional[Tuple[str, str]] = None) -> Table:
@@ -79,6 +103,7 @@ class Database:
         self._tables.pop(name, None)
         self._periods.pop(name, None)
         self._schema_version += 1
+        self._drop_statistics(name)
 
     # -- DML -----------------------------------------------------------------------------------
 
@@ -166,3 +191,60 @@ class Database:
 
     def row_counts(self) -> Mapping[str, int]:
         return {name: len(table) for name, table in self._tables.items()}
+
+    @property
+    def stats_epoch(self) -> int:
+        """A counter bumped whenever stored statistics change.
+
+        ``analyze()`` bumps it per table analyzed; DML on an analyzed table
+        drops that table's (now stale) statistics and bumps it once more.
+        DML on a table without statistics leaves the epoch alone, so the
+        cost-planner plan cache -- which keys on this epoch -- is only
+        invalidated when the numbers it planned with actually moved.
+        """
+        return self._stats_epoch
+
+    def analyze(self, table: Optional[str] = None) -> Dict[str, "TableStatistics"]:
+        """Collect and store statistics for one table (or every table).
+
+        Returns the freshly collected :class:`~repro.stats.TableStatistics`
+        by table name.  Statistics live in the catalog until DML touches
+        the table (a lazily registered DML observer drops them -- the same
+        hook materialized views subscribe to) or DDL replaces it.
+        """
+        from ..stats import collect_table_statistics
+
+        names = (table,) if table is not None else self.names()
+        collected: Dict[str, "TableStatistics"] = {}
+        for name in names:
+            statistics = collect_table_statistics(
+                self.table(name), self._periods.get(name)
+            )
+            self.set_statistics(name, statistics)
+            collected[name] = statistics
+        return collected
+
+    def set_statistics(self, name: str, statistics: "TableStatistics") -> None:
+        """Store ANALYZE output for ``name`` and bump the stats epoch."""
+        if not self._stats_observer_active:
+            self.add_dml_observer(self._invalidate_statistics)
+            self._stats_observer_active = True
+        self._statistics[name] = statistics
+        self._stats_epoch += 1
+
+    def statistics_for(self, name: str) -> Optional["TableStatistics"]:
+        """The stored statistics of one table, or None when never analyzed."""
+        return self._statistics.get(name)
+
+    def table_statistics(self) -> Mapping[str, "TableStatistics"]:
+        """A read-only view of every stored table statistic."""
+        return dict(self._statistics)
+
+    def _invalidate_statistics(self, name: str, delta: Dict[Tuple[Any, ...], int]) -> None:
+        # DML observer: the row counts / histograms no longer describe the
+        # table, so drop them rather than serve stale estimates.
+        self._drop_statistics(name)
+
+    def _drop_statistics(self, name: str) -> None:
+        if self._statistics.pop(name, None) is not None:
+            self._stats_epoch += 1

@@ -98,8 +98,16 @@ class ExecutionContext:
     #: ``executor="batch"``.
     parallel_workers: Optional[int] = None
     #: Minimum combined join input size (rows) before the worker pool is
-    #: worth its startup cost.
+    #: worth its startup cost.  The default is the historical constant;
+    #: the pipeline overrides it with the stats-driven estimate of
+    #: :func:`repro.planner.cost.parallel_engage_threshold` once the
+    #: referenced tables have been analyzed.
     parallel_threshold: int = 4096
+    #: Per-node execution observations keyed by ``id(plan node)``:
+    #: ``actual_rows`` for every node, plus ``join_strategy`` on joins.
+    #: ``None`` (the default) disables recording; ``explain()`` passes a
+    #: dict here to line actuals up against the cost model's estimates.
+    observations: Optional[Dict[int, Dict[str, Any]]] = None
     #: Cooperative fault-tolerance limits (see :class:`repro.execution
     #: .ExecutionPolicy`): a wall-clock :class:`~repro.execution.Deadline`
     #: polled inside operator and sweep loops, and a per-operator output-row
@@ -173,6 +181,8 @@ def execute(
     limits: "Optional[QueryLimits]" = None,
     executor: str = "row",
     parallel_workers: Optional[int] = None,
+    parallel_threshold: Optional[int] = None,
+    observations: Optional[Dict[int, Dict[str, Any]]] = None,
 ) -> Table:
     """Execute a logical plan against the catalog and return a result table.
 
@@ -189,6 +199,11 @@ def execute(
     in-memory backend: ``"row"`` (tuple streaming, this module) or
     ``"batch"`` (columnar batches, :mod:`repro.engine.batch`), with
     ``parallel_workers`` sizing the batch engine's partitioned-join pool.
+    ``parallel_threshold`` overrides the pool's engage threshold (the
+    cost planner derives it from table statistics; ``None`` keeps the
+    4096-row constant), and ``observations`` -- when a dict is passed --
+    collects per-node ``actual_rows`` / ``join_strategy`` readouts for
+    ``explain()`` (in-memory engine only).
     """
     if executor not in ("row", "batch"):
         raise ExecutorError(
@@ -213,7 +228,10 @@ def execute(
         row_budget=limits.row_budget if limits is not None else None,
         executor=executor,
         parallel_workers=parallel_workers,
+        observations=observations,
     )
+    if parallel_threshold is not None:
+        context.parallel_threshold = parallel_threshold
     context.count(f"executor.{executor}")
     try:
         if executor == "batch":
@@ -234,6 +252,10 @@ def _execute(plan: Operator, context: ExecutionContext) -> Table:
     result = _execute_node(plan, context)
     if context._limited:
         context.checkpoint(len(result.rows))
+    if context.observations is not None:
+        context.observations.setdefault(id(plan), {})["actual_rows"] = len(
+            result.rows
+        )
     return result
 
 
@@ -264,7 +286,7 @@ def _execute_node(plan: Operator, context: ExecutionContext) -> Table:
     if isinstance(plan, Join):
         left = _execute(plan.left, context)
         right = _execute(plan.right, context)
-        return _join(left, right, plan.predicate, context)
+        return _join(left, right, plan.predicate, context, plan)
 
     if isinstance(plan, Union):
         left = _execute(plan.left, context)
@@ -423,6 +445,7 @@ def _join(
     right: Table,
     predicate: Optional[Expression],
     context: ExecutionContext,
+    node: Optional[Join] = None,
 ) -> Table:
     overlap = set(left.schema) & set(right.schema)
     if overlap:
@@ -432,25 +455,39 @@ def _join(
     schema = left.schema + right.schema
     result = Table("join", schema)
 
+    # A cost-planner strategy hint on the node narrows the dispatch; every
+    # strategy computes the same bag (unmatched pattern parts stay in the
+    # residual / full predicate), so hints can never change results.
+    hint = node.strategy if node is not None else None
     equi_keys, residual_conjuncts = _split_join_predicate(predicate, left, right)
     interval = None
-    if context.interval_join:
+    if context.interval_join and hint in (None, "interval"):
         interval, residual_conjuncts = _extract_interval_pattern(
             residual_conjuncts, left, right
         )
     residual = _combine_residual(residual_conjuncts)
+    if hint == "nested_loop":
+        interval = None
+        equi_keys = []
+    elif hint == "hash":
+        interval = None
     if interval is not None:
+        chosen = "interval"
         context.count("interval_joins")
         context.count("join_strategy.interval")
         _interval_join(left, right, equi_keys, interval, residual, result, context)
     elif equi_keys:
+        chosen = "hash"
         context.count("hash_joins")
         context.count("join_strategy.hash")
         _hash_join(left, right, equi_keys, residual, result, context)
     else:
+        chosen = "nested_loop"
         context.count("nested_loop_joins")
         context.count("join_strategy.nested_loop")
         _nested_loop_join(left, right, predicate, result, context)
+    if context.observations is not None and node is not None:
+        context.observations.setdefault(id(node), {})["join_strategy"] = chosen
     return result
 
 

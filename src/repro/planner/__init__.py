@@ -24,7 +24,28 @@ join predicates so the executor's sort-merge interval join (see
 :mod:`repro.engine.executor`) can take over from the nested-loop fallback.
 """
 
+from .cost import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    annotate_join_strategies,
+    estimate_plan,
+    estimate_rows,
+    normalize_planner_mode,
+    parallel_engage_threshold,
+    reorder_joins,
+)
 from .rules import optimize, split_conjuncts
 from .schema import available_attributes, infer_schema
 
-__all__ = ["optimize", "split_conjuncts", "available_attributes", "infer_schema"]
+__all__ = [
+    "optimize",
+    "split_conjuncts",
+    "available_attributes",
+    "infer_schema",
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "annotate_join_strategies",
+    "estimate_plan",
+    "estimate_rows",
+    "normalize_planner_mode",
+    "parallel_engage_threshold",
+    "reorder_joins",
+]

@@ -64,11 +64,16 @@ def optimize(
     plan: Operator,
     database: "Optional[Database]" = None,
     statistics: Optional[Dict[str, int]] = None,
+    mode: str = "syntactic",
 ) -> Operator:
     """Apply the rewrite rules until a fixpoint (bounded number of passes).
 
     ``statistics``, when given, receives ``planner.<rule>`` counters for
     every rule application, alongside whatever the caller already collected.
+    With ``mode="cost"``, a cost phase runs after the syntactic fixpoint
+    (never before: ``_push_into_join`` rebuilds joins and would drop the
+    strategy hints) stamping each join with the strategy the
+    :mod:`repro.planner.cost` model prefers.
     """
     counter: Counter = Counter()
     previous = None
@@ -79,6 +84,10 @@ def optimize(
         previous = current
         current = _push_selections(current, database, counter)
         current = _simplify_projections(current, database, counter)
+    if mode == "cost":
+        from .cost import annotate_join_strategies
+
+        current = annotate_join_strategies(current, database, counter)
     if statistics is not None:
         for key, amount in counter.items():
             statistics[key] = statistics.get(key, 0) + amount

@@ -78,7 +78,10 @@ class SnapshotMiddleware:
         aggregation (Section 9) instead of the naive split-then-aggregate
         plan.
     optimize:
-        Run the engine's rule-based optimizer on rewritten plans.
+        Run the engine's rule-based optimizer on rewritten plans.  Besides
+        the booleans, the strings ``"syntactic"`` (alias of ``True``) and
+        ``"cost"`` (statistics-driven join reordering + strategy hints,
+        see :mod:`repro.planner.cost`) select the planner mode directly.
     backend:
         Default execution host for rewritten plans: a registered backend
         name (``"memory"``, ``"sqlite"``) or an
@@ -104,7 +107,7 @@ class SnapshotMiddleware:
         database: Optional[Database] = None,
         coalesce: str = "final",
         use_temporal_aggregate: bool = True,
-        optimize: bool = True,
+        optimize: "bool | str" = True,
         backend: "str | ExecutionBackend | None" = None,
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
         policy: Optional[ExecutionPolicy] = None,
@@ -151,11 +154,11 @@ class SnapshotMiddleware:
         return self._pipeline.period_semiring
 
     @property
-    def optimize(self) -> bool:
+    def optimize(self) -> "bool | str":
         return self._pipeline.optimize
 
     @optimize.setter
-    def optimize(self, value: bool) -> None:
+    def optimize(self, value: "bool | str") -> None:
         self._pipeline.optimize = value
 
     @property

@@ -8,7 +8,9 @@ a **rewritten-plan cache**:
 
 * plans are keyed by the structural hash/equality of the logical query
   (every expression and operator node is an immutable, hashable dataclass),
-  the planner switch, and the catalog's schema version;
+  the planner mode, and the catalog's schema version -- plus the
+  statistics epoch when the cost planner is active, since cost-based
+  plans bake in cardinality estimates;
 * a cache hit skips REWR *and* the planner entirely -- the pipeline reports
   ``plan_cache.hits`` / ``plan_cache.misses`` through the statistics
   mapping, and ``rewrite.invocations`` is only counted when the rewriter
@@ -39,7 +41,12 @@ from ..execution import (
     run_with_policy,
 )
 from ..logical_model.period_relation import PeriodKRelation
-from ..planner import optimize as planner_optimize
+from ..planner import (
+    normalize_planner_mode,
+    optimize as planner_optimize,
+    parallel_engage_threshold,
+    reorder_joins,
+)
 from ..semirings.standard import NATURAL
 from ..temporal.period_semiring import PeriodSemiring
 from ..temporal.timedomain import TimeDomain
@@ -85,7 +92,7 @@ class QueryPipeline:
         database: Optional[Database] = None,
         coalesce: str = "final",
         use_temporal_aggregate: bool = True,
-        optimize: bool = True,
+        optimize: "bool | str" = True,
         backend: "str | ExecutionBackend | None" = None,
         rewriter_cls: type[SnapshotRewriter] = SnapshotRewriter,
         plan_cache: bool = False,
@@ -100,6 +107,10 @@ class QueryPipeline:
         self.domain = domain
         self.database = database if database is not None else Database()
         self.period_semiring = PeriodSemiring(NATURAL, domain)
+        #: Planner switch: ``False``/``"off"`` disables planning, ``True``/
+        #: ``"syntactic"`` runs the rule fixpoint, ``"cost"`` additionally
+        #: reorders joins and stamps join strategies from table statistics.
+        normalize_planner_mode(optimize)  # validate eagerly
         self.optimize = optimize
         self.backend = backend
         self.policy = policy
@@ -216,8 +227,27 @@ class QueryPipeline:
         if self._cache is not None:
             self._cache.clear()
 
+    @property
+    def planner_mode(self) -> str:
+        """The normalized planner mode: ``"off"``, ``"syntactic"`` or ``"cost"``."""
+        return normalize_planner_mode(self.optimize)
+
     def _cache_key(self, query: Operator, final_coalesce: bool) -> Tuple[Any, ...]:
-        return (self.database.schema_version, self.optimize, final_coalesce, query)
+        mode = self.planner_mode
+        key: Tuple[Any, ...] = (
+            self.database.schema_version,
+            mode,
+            final_coalesce,
+            query,
+        )
+        if mode == "cost":
+            # Cost-based plans bake in cardinality estimates: when ANALYZE
+            # refreshes (or DML drops) statistics, the cached ordering and
+            # strategy hints may no longer be the cheapest, so the stats
+            # epoch keys the entry.  Syntactic plans never read statistics
+            # and deliberately survive DML unchanged.
+            key = key + (self.database.stats_epoch,)
+        return key
 
     # -- rewriting --------------------------------------------------------------------
 
@@ -263,6 +293,12 @@ class QueryPipeline:
         statistics: Optional[Dict[str, int]],
         final_coalesce: bool,
     ) -> Operator:
+        mode = self.planner_mode
+        if mode == "cost":
+            # Join reordering must happen on the *logical* query: REWR
+            # interleaves joins with period-intersection projections that
+            # would hide the join tree from the flattener.
+            query = reorder_joins(query, self.database, statistics, snapshot=True)
         plan = self.rewriter.rewrite(query)
         if final_coalesce:
             plan = CoalesceOperator(plan)
@@ -270,8 +306,8 @@ class QueryPipeline:
             statistics["rewrite.invocations"] = (
                 statistics.get("rewrite.invocations", 0) + 1
             )
-        if self.optimize:
-            plan = planner_optimize(plan, self.database, statistics)
+        if mode != "off":
+            plan = planner_optimize(plan, self.database, statistics, mode=mode)
         return plan
 
     # -- execution --------------------------------------------------------------------
@@ -294,6 +330,7 @@ class QueryPipeline:
         statistics: Optional[Dict[str, int]] = None,
         backend: "str | ExecutionBackend | None" = None,
         policy: Optional[ExecutionPolicy] = None,
+        observations: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> Table:
         """Run an already rewritten/optimized plan on the chosen backend.
 
@@ -309,7 +346,7 @@ class QueryPipeline:
         chosen = backend if backend is not None else self.backend
         effective = policy if policy is not None else self.policy
         if effective is None:
-            return self._run_plan(plan, statistics, chosen, None)
+            return self._run_plan(plan, statistics, chosen, None, observations=observations)
 
         def observer(event: str) -> None:
             if event == "retry":
@@ -364,15 +401,26 @@ class QueryPipeline:
         chosen: "str | ExecutionBackend | None",
         limits: Optional[QueryLimits],
         executor: Optional[str] = None,
+        observations: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> Table:
         if chosen is None or chosen == "memory":
+            effective_executor = executor if executor is not None else self.executor
+            threshold = None
+            if effective_executor == "batch" and (self.parallel_workers or 1) >= 2:
+                # Stats-driven parallel-engage decision: with ANALYZE data
+                # on the referenced tables this deviates from the 4096-row
+                # constant (dense overlap -> engage earlier); without
+                # statistics it returns exactly the historical default.
+                threshold = parallel_engage_threshold(plan, self.database)
             return engine_execute(
                 plan,
                 self.database,
                 statistics,
                 limits=limits,
-                executor=executor if executor is not None else self.executor,
+                executor=effective_executor,
                 parallel_workers=self.parallel_workers,
+                parallel_threshold=threshold,
+                observations=observations,
             )
         resolved = resolve_backend(chosen)
         if getattr(resolved, "optimize", False):

@@ -117,7 +117,7 @@ class QueryServer:
         domain: Optional[Any] = None,
         database: Optional[Any] = None,
         backend: Optional[str] = "memory",
-        planner: bool = True,
+        planner: "bool | str" = True,
         coalesce: str = "final",
         use_temporal_aggregate: bool = True,
         plan_cache: bool = True,
@@ -475,7 +475,7 @@ class QueryServer:
         request_id = frame.get("id")
         try:
             if kind in ("explain", "check", "materialize", "view_apply",
-                        "view_verify", "insert", "delete"):
+                        "view_verify", "insert", "delete", "analyze"):
                 # These execute queries or propagate deltas through plans;
                 # keep the event loop responsive.
                 payload = await asyncio.get_running_loop().run_in_executor(
@@ -573,6 +573,13 @@ class QueryServer:
             }
         if kind == "view_verify":
             return {"ok": pipeline.view(frame["name"]).verify()}
+        if kind == "analyze":
+            collected = pipeline.database.analyze(frame.get("name"))
+            return {
+                "statistics": {
+                    name: stats.to_dict() for name, stats in collected.items()
+                }
+            }
         if kind == "drop_view":
             pipeline.drop_view(frame["name"])
             return {}

@@ -19,6 +19,7 @@ Message flow (client -> server | server -> client)::
     tables                      | ok {tables}
     explain {plan, ...}         | ok {text}
     check {plan, options}       | ok {report}
+    analyze {name?}             | ok {statistics}
     cache_info / execution_info | ok {...}
     clear_cache / ping          | ok {}
 

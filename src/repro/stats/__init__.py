@@ -1,0 +1,33 @@
+"""repro.stats: per-table interval statistics for cost-based planning.
+
+The statistics side of the cost-based planner (:mod:`repro.planner.cost`):
+one :class:`TableStatistics` per catalog table summarising
+
+* the row count,
+* per-column distinct counts and NULL fractions,
+* equi-width histograms over the period begin/end points,
+* interval-length quantiles (min / p25 / median / p75 / max), and
+* an **overlap density** -- the fraction of interval pairs that strictly
+  overlap, estimated by one plane sweep over (sampled) endpoints.
+
+Statistics are collected by :meth:`repro.engine.catalog.Database.analyze`
+(surfaced as ``session.analyze()`` and the query server's ``analyze``
+frame), stored in the catalog, invalidated on DML through the catalog's
+observer hooks, and JSON-serializable (:meth:`TableStatistics.to_dict` /
+``from_dict``) so remote sessions see the same numbers the server plans
+with.
+"""
+
+from .model import (
+    ColumnStatistics,
+    EndpointHistogram,
+    TableStatistics,
+    collect_table_statistics,
+)
+
+__all__ = [
+    "ColumnStatistics",
+    "EndpointHistogram",
+    "TableStatistics",
+    "collect_table_statistics",
+]

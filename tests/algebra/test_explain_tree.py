@@ -130,3 +130,69 @@ class TestTreeRendering:
         rendered = middleware.explain(query_onduty())
         assert rendered == plan.explain_tree()
         assert len(rendered.splitlines()) == sum(1 for _ in plan.walk())
+
+
+class TestAnnotations:
+    """Per-node suffixes (the cost planner's estimated-vs-actual report)."""
+
+    def test_annotation_suffixes_attach_to_their_nodes(self):
+        join = Join(WORKS, ASSIGN, Comparison("=", attr("skill"), attr("req_skill")))
+        plan = Selection(join, Comparison("=", attr("skill"), lit("SP")))
+        annotations = {
+            id(join): "[strategy=hash estimated_rows=4 actual_rows=3]",
+            id(plan): "[estimated_rows=2 actual_rows=1]",
+        }
+        assert plan.explain_tree(annotations) == (
+            "Selection((skill = 'SP')) [estimated_rows=2 actual_rows=1]\n"
+            "└─ Join((skill = req_skill)) [strategy=hash estimated_rows=4 actual_rows=3]\n"
+            "   ├─ Relation(works)\n"
+            "   └─ Relation(assign)"
+        )
+
+    def test_annotated_trees_keep_one_line_per_node(self):
+        join = Join(WORKS, ASSIGN, Comparison("=", attr("skill"), attr("req_skill")))
+        rendered = join.explain_tree({id(join): "[actual_rows=3]"})
+        assert len(rendered.splitlines()) == sum(1 for _ in join.walk())
+
+    def test_join_strategy_hint_renders_in_the_label(self):
+        join = Join(
+            WORKS,
+            ASSIGN,
+            Comparison("=", attr("skill"), attr("req_skill")),
+            "interval",
+        )
+        assert join.explain_label() == (
+            "Join((skill = req_skill), strategy=interval)"
+        )
+
+    def test_session_explain_annotates_every_join_node(self):
+        from repro.api import connect
+
+        session = connect((0, 24))
+        session.load(
+            "works", ["name", "skill"], [("Ann", "SP", 3, 10), ("Joe", "NS", 8, 16)]
+        )
+        session.load("assign", ["req_skill", "proj"], [("SP", "p1", 0, 20)])
+        text = (
+            session.table("works")
+            .join(session.table("assign"), on="skill = req_skill")
+            .explain()
+        )
+        assert "executed plan:" in text
+        executed = text.split("executed plan:", 1)[1]
+        join_lines = [
+            line for line in executed.splitlines() if "Join(" in line
+        ]
+        assert join_lines
+        for line in join_lines:
+            assert "strategy=" in line
+            assert "estimated_rows=" in line
+            assert "actual_rows=" in line
+        # Non-join nodes carry the cardinality fields too.
+        relation_lines = [
+            line for line in executed.splitlines() if "Relation(" in line
+        ]
+        assert relation_lines
+        for line in relation_lines:
+            assert "estimated_rows=" in line
+            assert "actual_rows=" in line

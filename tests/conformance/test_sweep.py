@@ -60,6 +60,27 @@ def test_randomized_plans_conform_on_generated_catalogs(config, query):
 
 @settings(max_examples=60)
 @given(config=generator_configs(), query=conformance_queries())
+def test_cost_planner_conforms_on_all_executors(config, query):
+    """The cost-planner leg: ANALYZE first, then certify ``"cost"`` mode.
+
+    Statistics make the cost plans non-trivial (reordering and strategy
+    hints actually fire); the oracle check then certifies them at every
+    input changepoint on all three execution paths, side by side with the
+    syntactic planner.
+    """
+    database = generate_catalog(config)
+    database.analyze()
+    assert_conformant(
+        query,
+        database,
+        config.domain,
+        backends=("memory", "sqlite", "batch"),
+        optimize_modes=("cost", True),
+    )
+
+
+@settings(max_examples=60)
+@given(config=generator_configs(), query=conformance_queries())
 def test_randomized_plans_conform_under_ablation_modes(config, query):
     """The un-optimised rewrite variants satisfy the same property."""
     database = generate_catalog(config)

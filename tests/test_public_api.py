@@ -136,6 +136,7 @@ class TestPublicSurface:
             "repro.conformance",
             "repro.datasets",
             "repro.experiments",
+            "repro.stats",
         ],
     )
     def test_subpackage_exports_resolve(self, module):
